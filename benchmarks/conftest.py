@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+harnesses in :mod:`repro.experiments`, at a reduced-but-representative size so
+the whole suite completes in minutes on a laptop.  Each benchmark also
+asserts the qualitative "shape" the paper reports (who wins, roughly by how
+much, where crossovers fall), so running the suite doubles as a reproduction
+check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.seeding import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    set_global_seed(2024)
+    yield
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a harness exactly once under pytest-benchmark timing.
+
+    The experiment harnesses are deterministic and comparatively slow, so a
+    single timed round is both sufficient and what keeps the suite fast.
+    """
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 10 (compression-error distributions)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure10
+
+
+def test_figure10_error_distributions(run_once):
+    result = run_once(run_figure10, error_bounds=(0.5, 0.1, 0.05), num_values=200_000)
+    print()
+    print(result.to_text())
+
+    rows = sorted(result.rows, key=lambda row: row["error_bound"])
+    # Paper shape: the error histogram is sharply peaked at zero with
+    # Laplace-like tails at every bound, and its support widens with the bound
+    # (the x-axis ranges of the three panels).
+    assert all(row["laplace_preferred"] for row in rows)
+    supports = [row["max_abs_error"] for row in rows]
+    assert supports == sorted(supports)
+    scales = [row["laplace_scale"] for row in rows]
+    assert all(scale > 0 for scale in scales)
+    # The equivalent-epsilon observation: more error (larger bound) means a
+    # smaller epsilon, i.e. potentially stronger privacy.
+    epsilons = [row["equivalent_epsilon"] for row in rows]
+    assert epsilons[0] <= epsilons[-1] * 1.5

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 2 (FL weights vs scientific data)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_figure2
+
+
+def test_figure2_data_characterization(run_once):
+    result = run_once(run_figure2)
+    print()
+    print(result.to_text())
+
+    weights = result.filter(source="fl-weights")
+    fields = result.filter(source="miranda-like")
+    # Paper shape: model parameters are spiky, the scientific slices smooth,
+    # and the smooth data compresses far better under the same bound.
+    assert np.mean([row["smoothness"] for row in weights]) > 3 * np.mean(
+        [row["smoothness"] for row in fields]
+    )
+    assert np.median([row["sz2_ratio"] for row in fields]) > np.median(
+        [row["sz2_ratio"] for row in weights]
+    )

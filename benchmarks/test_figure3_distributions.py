@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 3 (pretrained weight distributions)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure3
+
+
+def test_figure3_weight_distributions(run_once):
+    result = run_once(run_figure3)
+    print()
+    print(result.to_text())
+
+    rows = {row["model"]: row for row in result.rows}
+    # Paper shape: every family is sharply peaked at zero within [-1, 1];
+    # MobileNetV2 has the widest spread, AlexNet the narrowest.
+    assert rows["mobilenetv2"]["std"] > rows["resnet50"]["std"] > rows["alexnet"]["std"]
+    for row in rows.values():
+        assert row["max_abs"] <= 1.0
+        assert row["excess_kurtosis"] > 0.0

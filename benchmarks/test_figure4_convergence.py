@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 4 (accuracy convergence per EBLC)."""
+
+from __future__ import annotations
+
+from repro.experiments import final_accuracies, run_figure4
+
+
+def test_figure4_accuracy_convergence(run_once):
+    result = run_once(
+        run_figure4,
+        compressors=(None, "sz2", "sz3", "zfp"),
+        rounds=6,
+        samples=500,
+        num_clients=4,
+        error_bound=1e-2,
+    )
+    print()
+    print(result.to_text())
+
+    finals = final_accuracies(result)
+    # Paper shape: the error-bounded compressors track the uncompressed run at
+    # the recommended bound — accuracy rises well above chance and the gap to
+    # the baseline stays small.  (SZx, whose collapse in the paper stems from
+    # an implementation quirk of SZx v1.0.0, is covered in EXPERIMENTS.md.)
+    assert finals["uncompressed"] > 0.5
+    for compressor in ("sz2", "sz3", "zfp"):
+        assert finals[compressor] > 0.5
+        assert abs(finals[compressor] - finals["uncompressed"]) < 0.2
+
+    for label in ("uncompressed", "sz2"):
+        accuracies = [row["accuracy"] for row in result.filter(compressor=label)]
+        assert accuracies[-1] > accuracies[0]

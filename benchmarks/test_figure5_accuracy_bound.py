@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 5 (accuracy vs relative error bound)."""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy_cliff_bound, run_figure5
+
+
+def test_figure5_accuracy_vs_error_bound(run_once):
+    result = run_once(
+        run_figure5,
+        error_bounds=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5),
+        train_epochs=6,
+        samples=450,
+    )
+    print()
+    print(result.to_text())
+
+    baseline = result.filter(fedsz=False)[0]["accuracy"]
+    assert baseline > 0.6
+
+    # Paper shape: accuracy is flat up to the recommended 1e-2 bound and
+    # collapses at very large bounds.  (In this reproduction the tiny models
+    # are somewhat more robust, so the collapse lands between 1e-1 and 5e-1
+    # instead of exactly at 1e-1 — recorded in EXPERIMENTS.md.)
+    for bound in (1e-5, 1e-4, 1e-3, 1e-2):
+        row = result.filter(error_bound=bound)[0]
+        assert abs(row["accuracy"] - baseline) < 0.08, f"accuracy moved at bound {bound}"
+    collapse = result.filter(error_bound=0.5)[0]
+    assert collapse["accuracy"] < baseline - 0.3
+    assert accuracy_cliff_bound(result, drop_threshold=0.2) <= 0.5
+
+    # Ratio keeps increasing with the bound while accuracy is preserved,
+    # which is exactly the trade-off the paper's recommendation exploits.
+    recommended = result.filter(error_bound=1e-2)[0]
+    tight = result.filter(error_bound=1e-4)[0]
+    assert recommended["ratio"] > tight["ratio"]

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 6 (client epoch-time breakdown)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_epoch_breakdown(run_once):
+    result = run_once(
+        run_figure6,
+        combinations=(("resnet50", "cifar10"), ("mobilenetv2", "cifar10")),
+        rounds=2,
+        samples=320,
+    )
+    print()
+    print(result.to_text())
+
+    for row in result.rows:
+        # Paper shape: training dominates the epoch, compression is a small
+        # additive overhead (<17% in the worst case, ~4.7% on average).
+        assert row["client_training_seconds"] > row["compression_seconds"]
+        assert 0.0 < row["compression_overhead_percent"] < 35.0
+        assert row["total_seconds"] > 0

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 7 (communication time vs error bound at 10 Mbps)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_communication_time(run_once):
+    result = run_once(
+        run_figure7,
+        error_bounds=(1e-5, 1e-4, 1e-3, 1e-2),
+        max_elements_per_tensor=150_000,
+    )
+    print()
+    print(result.to_text())
+
+    for model in ("alexnet", "mobilenetv2", "resnet50"):
+        baseline = result.filter(model=model, compressed=False)[0]["communication_seconds"]
+        rows = sorted(
+            result.filter(model=model, compressed=True), key=lambda row: row["error_bound"]
+        )
+        times = [row["communication_seconds"] for row in rows]
+        # Paper shape: every bound beats the uncompressed transfer at 10 Mbps
+        # (by an order of magnitude at the recommended bound, less at the very
+        # tight 1e-5 bound — compare Figure 7(b)), and looser bounds
+        # communicate faster.
+        assert all(time < baseline for time in times)
+        recommended_time = result.filter(model=model, error_bound=1e-2)[0]["communication_seconds"]
+        assert recommended_time < baseline / 2
+        assert times == sorted(times, reverse=True)
+        recommended = result.filter(model=model, error_bound=1e-2)[0]
+        assert recommended["speedup"] > 4.0
+    alexnet_speedup = result.filter(model="alexnet", error_bound=1e-2)[0]["speedup"]
+    assert alexnet_speedup > 8.0  # paper: 13.26x

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 9 (weak/strong scaling on a 10 Mbps network)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure9
+
+
+def test_figure9_scaling(run_once):
+    result = run_once(run_figure9, core_counts=(2, 4, 8, 16, 32, 64, 128))
+    print()
+    print(result.to_text())
+
+    # Weak scaling: per-client epoch time grows with the client count, and
+    # FedSZ's curve is clearly flatter than the uncompressed one.
+    for configuration in ("fedsz", "uncompressed"):
+        weak = result.filter(experiment="weak", configuration=configuration)
+        times = [row["epoch_seconds_per_client"] for row in weak]
+        assert times == sorted(times)
+    fedsz_weak = result.filter(experiment="weak", configuration="fedsz")
+    raw_weak = result.filter(experiment="weak", configuration="uncompressed")
+    fedsz_growth = fedsz_weak[-1]["epoch_seconds_per_client"] / fedsz_weak[0]["epoch_seconds_per_client"]
+    raw_growth = raw_weak[-1]["epoch_seconds_per_client"] / raw_weak[0]["epoch_seconds_per_client"]
+    assert fedsz_growth < raw_growth
+
+    # Strong scaling: speedup grows with cores; FedSZ lands in the same band
+    # as the paper's 7.51x at 128 cores and beats the uncompressed speedup.
+    fedsz_strong = result.filter(experiment="strong", configuration="fedsz")
+    raw_strong = result.filter(experiment="strong", configuration="uncompressed")
+    fedsz_speedup = [row for row in fedsz_strong if row["cores"] == 128][0]["speedup"]
+    raw_speedup = [row for row in raw_strong if row["cores"] == 128][0]["speedup"]
+    assert 4.0 < fedsz_speedup < 20.0
+    assert fedsz_speedup > raw_speedup
+    # FedSZ's absolute epoch time is lower at every scale.
+    for fedsz_row, raw_row in zip(fedsz_strong, raw_strong):
+        assert fedsz_row["epoch_seconds_per_client"] < raw_row["epoch_seconds_per_client"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table II (lossless codec comparison on metadata)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table2
+
+
+def test_table2_lossless_comparison(run_once):
+    result = run_once(run_table2)
+    print()
+    print(result.to_text())
+
+    rows = {row["compressor"]: row for row in result.rows}
+    # Paper shape: blosc-lz is by far the fastest; xz is the slowest; every
+    # codec achieves a modest (>1x) ratio on the float metadata.
+    assert rows["blosc-lz"]["runtime_seconds"] == min(r["runtime_seconds"] for r in rows.values())
+    assert rows["xz"]["runtime_seconds"] == max(r["runtime_seconds"] for r in rows.values())
+    assert all(row["ratio"] > 1.0 for row in rows.values())
+    # blosc-lz's ratio is competitive with the best ratio in the suite.
+    best_ratio = max(row["ratio"] for row in rows.values())
+    assert rows["blosc-lz"]["ratio"] > 0.85 * best_ratio

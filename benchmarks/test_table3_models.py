@@ -1,0 +1,29 @@
+"""Benchmark regenerating Table III (model characteristics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table3
+
+
+def test_table3_model_characteristics(run_once):
+    result = run_once(run_table3)
+    print()
+    print(result.to_text())
+
+    rows = {row["model"]: row for row in result.rows}
+    # Table III: AlexNet ~61M params / ~230MB, MobileNetV2 ~3.5M / ~14MB,
+    # ResNet50 the standard torchvision 25.6M (the paper quotes 45M).
+    assert rows["alexnet"]["parameters"] == pytest.approx(61.1e6, rel=0.02)
+    assert rows["mobilenetv2"]["parameters"] == pytest.approx(3.5e6, rel=0.03)
+    assert rows["resnet50"]["parameters"] == pytest.approx(25.6e6, rel=0.03)
+    # Lossy-eligible share ordering: AlexNet > ResNet50 > MobileNetV2.
+    assert (
+        rows["alexnet"]["lossy_data_percent"]
+        > rows["resnet50"]["lossy_data_percent"]
+        > rows["mobilenetv2"]["lossy_data_percent"]
+        > 95.0
+    )
+    # FLOPs ordering: ResNet50 >> AlexNet > MobileNetV2.
+    assert rows["resnet50"]["flops_g"] > rows["alexnet"]["flops_g"] > rows["mobilenetv2"]["flops_g"]

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table IV (dataset characteristics)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table4
+
+
+def test_table4_dataset_characteristics(run_once):
+    result = run_once(run_table4)
+    print()
+    print(result.to_text())
+
+    rows = {row["dataset"]: row for row in result.rows}
+    assert rows["CIFAR-10"]["samples"] == 60_000
+    assert rows["CIFAR-10"]["input_dimension"] == "32 x 32"
+    assert rows["Fashion-MNIST"]["samples"] == 70_000
+    assert rows["Fashion-MNIST"]["classes"] == 10
+    assert rows["Caltech101"]["classes"] == 101
+    assert rows["Caltech101"]["input_dimension"] == "224 x 224"

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""When is compression worth it?  (Figure 8 / Eqn. 1 study.)
+
+Sweeps the uplink bandwidth from 1 Mbps to 10 Gbps for an AlexNet-sized
+client update compressed with SZ2 / SZ3 / ZFP (Raspberry Pi 5 codec
+runtimes), prints the communication time per configuration, and reports each
+compressor's crossover bandwidth — the point beyond which sending raw data is
+faster (≈500 Mbps in the paper).
+
+Run with::
+
+    python examples/bandwidth_study.py [--model alexnet] [--error-bound 1e-2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import crossover_for, run_figure8
+from repro.experiments.reporting import render_table
+from repro.network import EDGE_BANDWIDTH_MBPS, should_compress
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="alexnet", choices=["alexnet", "mobilenetv2", "resnet50"])
+    parser.add_argument("--error-bound", type=float, default=1e-2)
+    parser.add_argument("--sample-elements", type=int, default=150_000)
+    arguments = parser.parse_args()
+
+    result = run_figure8(
+        model=arguments.model,
+        error_bound=arguments.error_bound,
+        max_elements_per_tensor=arguments.sample_elements,
+    )
+    print(result.name)
+    print(render_table(result.rows))
+    print()
+    for note in result.notes:
+        print(f"note: {note}")
+
+    print()
+    print("crossover bandwidth observed in the sweep:")
+    for compressor in ("sz2", "sz3", "zfp"):
+        print(f"  {compressor}: worthwhile up to ~{crossover_for(result, compressor):.0f} Mbps")
+
+    # Spell out the Eqn.-1 arithmetic for the edge setting the paper highlights.
+    edge_rows = [
+        row
+        for row in result.filter(compressor="sz2")
+        if abs(row["bandwidth_mbps"] - EDGE_BANDWIDTH_MBPS) < 1e-6
+    ]
+    if edge_rows:
+        print()
+        print(
+            f"at the {EDGE_BANDWIDTH_MBPS:g} Mbps edge uplink, SZ2 ships the update in "
+            f"{edge_rows[0]['communication_seconds']:.1f}s "
+            "(the uncompressed transfer takes "
+            f"{[r for r in result.filter(compressor='original') if abs(r['bandwidth_mbps'] - EDGE_BANDWIDTH_MBPS) < 1e-6][0]['communication_seconds']:.1f}s)."
+        )
+    # A direct Eqn.-1 example with explicit numbers.
+    decision = should_compress(
+        original_nbytes=244_000_000,
+        compressed_nbytes=int(244_000_000 / 12.6),
+        compress_seconds=3.2,
+        decompress_seconds=1.6,
+        bandwidth_mbps=EDGE_BANDWIDTH_MBPS,
+    )
+    print(
+        f"Eqn. 1 with the paper's AlexNet numbers: saves {decision.seconds_saved:.0f}s per update "
+        f"({decision.speedup:.1f}x) at 10 Mbps."
+    )
+
+
+if __name__ == "__main__":
+    main()

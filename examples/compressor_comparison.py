@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compare the EBLC candidates on your model's weights (Table I style).
+
+Runs SZ2, SZ3, SZx and ZFP over trained-like weight samples of the three
+paper models at several relative error bounds, prints the rate/runtime table
+and then applies the Problem-1 selection procedure (Eqn. 2) to pick the
+compressor FedSZ should use for a given uplink bandwidth.
+
+Run with::
+
+    python examples/compressor_comparison.py [--bandwidth 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import select_lossy_compressor
+from repro.experiments import model_weight_sample, run_table1
+from repro.experiments.reporting import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bandwidth", type=float, default=10.0, help="uplink bandwidth in Mbps")
+    parser.add_argument("--sample-elements", type=int, default=200_000)
+    parser.add_argument(
+        "--device",
+        default="raspberry-pi-5",
+        choices=["raspberry-pi-5", "local"],
+        help="device profile used for the reported runtimes",
+    )
+    arguments = parser.parse_args()
+
+    result = run_table1(
+        sample_elements=arguments.sample_elements,
+        device=None if arguments.device == "local" else arguments.device,
+    )
+    print(result.name)
+    print(render_table(result.rows))
+    for note in result.notes:
+        print(f"note: {note}")
+    print()
+
+    weights = model_weight_sample("alexnet", num_values=arguments.sample_elements)
+    selection = select_lossy_compressor(
+        weights, error_bound=1e-2, bandwidth_mbps=arguments.bandwidth
+    )
+    print(f"Problem-1 selection at {arguments.bandwidth:g} Mbps:")
+    for candidate in selection.candidates:
+        marker = "*" if candidate.compressor == selection.best.compressor else " "
+        print(
+            f" {marker} {candidate.compressor:4s} ratio={candidate.ratio:6.2f}x "
+            f"runtime={candidate.compress_seconds * 1e3:7.1f} ms "
+            f"feasible={candidate.feasible}"
+        )
+    print(f"selected compressor: {selection.best.compressor} (the paper selects sz2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compression error as differential-privacy-style noise (Figure 10 study).
+
+Extracts the element-wise error FedSZ's lossy stage introduces into AlexNet
+weights at several large relative error bounds, fits a Laplace distribution to
+each error population, compares the fit against a Gaussian, and reports the
+privacy parameter an equivalent Laplace mechanism would correspond to.  It
+then perturbs a trained tiny model with genuine Laplace noise of the same
+scale and compares the accuracy impact of the two noise sources.
+
+Run with::
+
+    python examples/dp_noise_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FedSZCompressor
+from repro.experiments import run_figure10, train_tiny_model
+from repro.experiments.reporting import render_table
+from repro.nn import functional as F
+from repro.privacy import analyze_state_dict_errors, perturb_state_dict_with_laplace
+
+
+def main() -> None:
+    result = run_figure10(num_values=200_000)
+    print(result.name)
+    print(render_table(result.rows))
+    for note in result.notes:
+        print(f"note: {note}")
+
+    print()
+    print("=== compression noise vs calibrated Laplace noise on a trained model ===")
+    model, validation = train_tiny_model("resnet50", "cifar10", epochs=5, samples=400, seed=3)
+    model.eval()
+    baseline_accuracy = F.accuracy(model(validation.images), validation.labels)
+    original_state = model.state_dict()
+
+    error_bound = 5e-2
+    codec = FedSZCompressor(error_bound=error_bound)
+    compressed_state = codec.decompress(codec.compress(original_state))
+    distribution = analyze_state_dict_errors(original_state, error_bound=error_bound)
+
+    model.load_state_dict(compressed_state)
+    model.eval()
+    compressed_accuracy = F.accuracy(model(validation.images), validation.labels)
+
+    noisy_state = perturb_state_dict_with_laplace(
+        original_state, noise_scale=distribution.fit.scale, seed=11
+    )
+    model.load_state_dict(noisy_state)
+    model.eval()
+    noisy_accuracy = F.accuracy(model(validation.images), validation.labels)
+    model.load_state_dict(original_state)
+
+    print(f"baseline accuracy:                    {baseline_accuracy:.3f}")
+    print(f"after FedSZ @ REL {error_bound:g}:              {compressed_accuracy:.3f} "
+          f"(error Laplace scale {distribution.fit.scale:.4f})")
+    print(f"after Laplace noise of equal scale:   {noisy_accuracy:.3f}")
+    print(
+        "conclusion: the compression error behaves like calibrated Laplace noise of scale "
+        f"{distribution.fit.scale:.4f}; as in the paper this is an observation, not a formal "
+        "differential-privacy guarantee."
+    )
+    print(f"(largest compression error observed: {np.abs(distribution.errors).max():.4f})")
+
+
+if __name__ == "__main__":
+    main()

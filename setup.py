@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools/pip combination predates PEP 660 support
+(``pip install -e .`` falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table1 [--output results/table1.txt]
+    python -m repro.cli run figure8 --quick
+    python -m repro.cli run all --quick --output results/
+
+``--quick`` shrinks every harness's workload so a full sweep completes in a
+few minutes; without it the default benchmark-scale parameters are used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro import experiments
+from repro.experiments.reporting import ExperimentResult
+
+#: Experiment id -> (harness, quick-mode keyword arguments).
+_EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (experiments.run_table1, {"sample_elements": 60_000}),
+    "table2": (experiments.run_table2, {}),
+    "table3": (experiments.run_table3, {}),
+    "table4": (experiments.run_table4, {}),
+    "table5": (experiments.run_table5, {"max_elements_per_tensor": 40_000}),
+    "figure2": (experiments.run_figure2, {}),
+    "figure3": (experiments.run_figure3, {"num_values": 100_000}),
+    "figure4": (experiments.run_figure4, {"rounds": 4, "samples": 360, "compressors": (None, "sz2")}),
+    "figure5": (experiments.run_figure5, {"train_epochs": 4, "samples": 300}),
+    "figure6": (experiments.run_figure6, {"rounds": 1, "samples": 240}),
+    "figure7": (experiments.run_figure7, {"max_elements_per_tensor": 40_000}),
+    "figure8": (experiments.run_figure8, {"max_elements_per_tensor": 40_000}),
+    "figure9": (experiments.run_figure9, {}),
+    "figure10": (experiments.run_figure10, {"num_values": 100_000}),
+}
+
+
+def available_experiments() -> list:
+    """Experiment identifiers accepted by ``run``."""
+    return sorted(_EXPERIMENTS)
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment harness by identifier."""
+    key = name.lower()
+    if key not in _EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {available_experiments()}")
+    harness, quick_kwargs = _EXPERIMENTS[key]
+    kwargs = quick_kwargs if quick else {}
+    return harness(**kwargs)
+
+
+def _write_or_print(result: ExperimentResult, output: Optional[Path], name: str) -> None:
+    text = result.to_text()
+    if output is None:
+        print(text)
+        print()
+        return
+    if output.suffix:  # explicit file
+        destination = output
+    else:  # directory
+        output.mkdir(parents=True, exist_ok=True)
+        destination = output / f"{name}.txt"
+    destination.write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {destination}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (e.g. table1, figure8) or 'all'")
+    run_parser.add_argument("--quick", action="store_true", help="use reduced workloads")
+    run_parser.add_argument(
+        "--output", type=Path, default=None, help="file (or directory for 'all') to write results to"
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    if arguments.experiment.lower() == "all":
+        for name in available_experiments():
+            result = run_experiment(name, quick=arguments.quick)
+            _write_or_print(result, arguments.output, name)
+        return 0
+
+    try:
+        result = run_experiment(arguments.experiment, quick=arguments.quick)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    _write_or_print(result, arguments.output, arguments.experiment.lower())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

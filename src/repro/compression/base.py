@@ -1,0 +1,269 @@
+"""Common interfaces and payload framing for all compressors.
+
+Two abstract interfaces are defined:
+
+* :class:`LossyCompressor` — error-bounded lossy compressors (SZ2, SZ3, SZx,
+  ZFP analogues).  ``compress`` takes a float array and an error bound and
+  returns a self-describing byte payload; ``decompress`` reconstructs an array
+  with the same shape/dtype whose element-wise deviation from the original is
+  bounded by the requested error bound.
+* :class:`LosslessCompressor` — byte-oriented lossless codecs (blosc-lz, zstd,
+  gzip, zlib, xz stand-ins/wrappers).
+
+A small section-based framing format (:func:`pack_sections` /
+:func:`unpack_sections`) is shared by all payloads so every compressor byte
+stream is self-describing and independently decodable.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.compression.errors import (
+    CorruptPayloadError,
+    InvalidErrorBoundError,
+    UnsupportedDataError,
+)
+
+_SECTION_MAGIC = b"RPRS"
+_HEADER_STRUCT = struct.Struct("<4sI")
+_ENTRY_STRUCT = struct.Struct("<HQ")
+
+
+class ErrorBoundMode(str, Enum):
+    """How the numeric error bound argument should be interpreted.
+
+    * ``ABS`` — the bound is an absolute tolerance: ``|x - x̂| <= bound``.
+    * ``REL`` — the bound is relative to the value range of the input:
+      ``|x - x̂| <= bound * (max(x) - min(x))``.  This is the mode used
+      throughout the FedSZ paper ("REL error bound").
+    """
+
+    ABS = "abs"
+    REL = "rel"
+
+
+def resolve_error_bound(
+    data: np.ndarray, error_bound: float, mode: ErrorBoundMode
+) -> float:
+    """Convert a (bound, mode) pair into an absolute tolerance for ``data``.
+
+    For ``REL`` mode the value range of ``data`` is used, matching SZ's
+    ``REL`` semantics.  A constant array has zero range; in that case the
+    resolved absolute bound is 0.0 and callers are expected to fall back to an
+    exact representation (which is trivially cheap for constant data).
+    """
+    if not np.isfinite(error_bound) or error_bound <= 0:
+        raise InvalidErrorBoundError(
+            f"error bound must be a positive finite number, got {error_bound!r}"
+        )
+    if mode == ErrorBoundMode.ABS:
+        return float(error_bound)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return float(error_bound)
+    value_range = float(finite.max() - finite.min())
+    return float(error_bound * value_range)
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Measurements describing one compression invocation."""
+
+    original_nbytes: int
+    compressed_nbytes: int
+    compress_seconds: float
+    decompress_seconds: Optional[float] = None
+    max_abs_error: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original size / compressed size)."""
+        if self.compressed_nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.compressed_nbytes
+
+    @property
+    def compress_throughput_mbps(self) -> float:
+        """Compression throughput in MB/s (10^6 bytes per second)."""
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.original_nbytes / 1e6 / self.compress_seconds
+
+
+class LossyCompressor(ABC):
+    """Interface implemented by every error-bounded lossy compressor."""
+
+    #: Short registry name, e.g. ``"sz2"``.
+    name: str = "lossy"
+
+    @abstractmethod
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> bytes:
+        """Compress a floating-point array into a self-describing payload."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the array encoded in ``payload``."""
+
+    def roundtrip(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> Tuple[np.ndarray, CompressionStats]:
+        """Compress then decompress, returning the reconstruction and stats."""
+        import time
+
+        data = np.asarray(data)
+        start = time.perf_counter()
+        payload = self.compress(data, error_bound, mode)
+        compress_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        reconstructed = self.decompress(payload)
+        decompress_seconds = time.perf_counter() - start
+        max_abs_error = float(np.max(np.abs(data.astype(np.float64) - reconstructed)))
+        stats = CompressionStats(
+            original_nbytes=int(data.nbytes),
+            compressed_nbytes=len(payload),
+            compress_seconds=compress_seconds,
+            decompress_seconds=decompress_seconds,
+            max_abs_error=max_abs_error,
+            metadata={"compressor": self.name, "error_bound": error_bound, "mode": mode.value},
+        )
+        return reconstructed, stats
+
+    @staticmethod
+    def _validate_input(data: np.ndarray) -> np.ndarray:
+        """Common validation: floating dtype, finite values, non-empty allowed."""
+        data = np.asarray(data)
+        if data.dtype.kind not in "f":
+            raise UnsupportedDataError(
+                f"lossy compressors expect floating-point data, got dtype {data.dtype}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise UnsupportedDataError("lossy compressors require finite input values")
+        return data
+
+
+class LosslessCompressor(ABC):
+    """Interface implemented by byte-oriented lossless codecs."""
+
+    #: Short registry name, e.g. ``"blosc-lz"``.
+    name: str = "lossless"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress a byte string."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Exactly reconstruct the byte string encoded in ``payload``."""
+
+    def roundtrip(self, data: bytes) -> Tuple[bytes, CompressionStats]:
+        """Compress then decompress, returning the output bytes and stats."""
+        import time
+
+        start = time.perf_counter()
+        payload = self.compress(data)
+        compress_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        restored = self.decompress(payload)
+        decompress_seconds = time.perf_counter() - start
+        stats = CompressionStats(
+            original_nbytes=len(data),
+            compressed_nbytes=len(payload),
+            compress_seconds=compress_seconds,
+            decompress_seconds=decompress_seconds,
+            metadata={"compressor": self.name},
+        )
+        return restored, stats
+
+
+def pack_sections(sections: Mapping[str, bytes]) -> bytes:
+    """Serialize named byte sections into a single framed payload.
+
+    The format is: magic, section count, then for each section a
+    (name-length, data-length) header followed by the UTF-8 name and the raw
+    data.  Section order is preserved.
+    """
+    parts = [_HEADER_STRUCT.pack(_SECTION_MAGIC, len(sections))]
+    for name, data in sections.items():
+        encoded_name = name.encode("utf-8")
+        if len(encoded_name) > 0xFFFF:
+            raise ValueError(f"section name too long: {name!r}")
+        parts.append(_ENTRY_STRUCT.pack(len(encoded_name), len(data)))
+        parts.append(encoded_name)
+        parts.append(bytes(data))
+    return b"".join(parts)
+
+
+def unpack_sections(payload: bytes) -> Dict[str, bytes]:
+    """Inverse of :func:`pack_sections`."""
+    if len(payload) < _HEADER_STRUCT.size:
+        raise CorruptPayloadError("payload too short to contain a section header")
+    magic, count = _HEADER_STRUCT.unpack_from(payload, 0)
+    if magic != _SECTION_MAGIC:
+        raise CorruptPayloadError(f"bad payload magic {magic!r}")
+    offset = _HEADER_STRUCT.size
+    sections: Dict[str, bytes] = {}
+    for _ in range(count):
+        if offset + _ENTRY_STRUCT.size > len(payload):
+            raise CorruptPayloadError("truncated section entry header")
+        name_len, data_len = _ENTRY_STRUCT.unpack_from(payload, offset)
+        offset += _ENTRY_STRUCT.size
+        end_of_name = offset + name_len
+        end_of_data = end_of_name + data_len
+        if end_of_data > len(payload):
+            raise CorruptPayloadError("truncated section data")
+        name = payload[offset:end_of_name].decode("utf-8")
+        sections[name] = payload[end_of_name:end_of_data]
+        offset = end_of_data
+    return sections
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Serialize a numpy array (dtype, shape and raw bytes) into one section."""
+    original = np.asarray(array)
+    # np.ascontiguousarray promotes 0-d arrays to 1-d; preserve the true shape.
+    array = np.ascontiguousarray(original).reshape(original.shape)
+    dtype_name = array.dtype.str.encode("ascii")
+    header = struct.pack("<H", len(dtype_name)) + dtype_name
+    header += struct.pack("<B", array.ndim)
+    header += struct.pack(f"<{array.ndim}q", *array.shape) if array.ndim else b""
+    return header + array.tobytes()
+
+
+def unpack_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_array`."""
+    if len(payload) < 2:
+        raise CorruptPayloadError("array payload too short")
+    (dtype_len,) = struct.unpack_from("<H", payload, 0)
+    offset = 2
+    dtype_name = payload[offset : offset + dtype_len].decode("ascii")
+    offset += dtype_len
+    (ndim,) = struct.unpack_from("<B", payload, offset)
+    offset += 1
+    shape: Tuple[int, ...] = ()
+    if ndim:
+        shape = struct.unpack_from(f"<{ndim}q", payload, offset)
+        offset += 8 * ndim
+    dtype = np.dtype(dtype_name)
+    expected = int(np.prod(shape)) if shape else 1
+    raw = payload[offset:]
+    if len(raw) != expected * dtype.itemsize:
+        raise CorruptPayloadError(
+            f"array payload size mismatch: expected {expected * dtype.itemsize} bytes, got {len(raw)}"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()

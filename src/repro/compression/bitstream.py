@@ -1,0 +1,150 @@
+"""Bit-level writer/reader used by the Huffman and ZFP-style codecs.
+
+The writer supports both scalar appends and a vectorised
+``write_fixed_width`` path that packs an entire integer array with a common
+bit width in one numpy operation — the hot path for the ZFP and SZx
+analogues, which store many small fixed-width integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.compression.errors import CorruptPayloadError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-bit first and renders them to bytes."""
+
+    def __init__(self) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._bit_count = 0
+
+    @property
+    def bit_count(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._chunks.append(np.asarray([bit & 1], dtype=np.uint8))
+        self._bit_count += 1
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append the ``width`` least-significant bits of ``value``, MSB first."""
+        if width < 0:
+            raise ValueError(f"bit width must be non-negative, got {width}")
+        if width == 0:
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((int(value) >> shifts) & 1).astype(np.uint8)
+        self._chunks.append(bits)
+        self._bit_count += width
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        """Append a flat array of 0/1 values."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel() & 1
+        self._chunks.append(bits)
+        self._bit_count += bits.size
+
+    def write_fixed_width(self, values: np.ndarray, width: int) -> None:
+        """Append each value of an unsigned integer array using ``width`` bits.
+
+        Values that do not fit in ``width`` bits are masked to their low bits;
+        callers are responsible for choosing an adequate width.
+        """
+        if width < 0:
+            raise ValueError(f"bit width must be non-negative, got {width}")
+        values = np.asarray(values, dtype=np.uint64).ravel()
+        if width == 0 or values.size == 0:
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((values[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+        self._chunks.append(bits.ravel())
+        self._bit_count += values.size * width
+
+    def getvalue(self) -> bytes:
+        """Render all written bits as bytes (zero-padded to a byte boundary)."""
+        if not self._chunks:
+            return b""
+        bits = np.concatenate(self._chunks)
+        return np.packbits(bits).tobytes()
+
+
+class BitReader:
+    """Sequential reader over a byte string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_count: int | None = None) -> None:
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        if bit_count is not None:
+            if bit_count > self._bits.size:
+                raise CorruptPayloadError(
+                    f"bitstream declares {bit_count} bits but only {self._bits.size} are present"
+                )
+            self._bits = self._bits[:bit_count]
+        self._position = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._bits.size - self._position
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        if self._position >= self._bits.size:
+            raise CorruptPayloadError("attempted to read past the end of the bitstream")
+        bit = int(self._bits[self._position])
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer (MSB first)."""
+        if width == 0:
+            return 0
+        if self._position + width > self._bits.size:
+            raise CorruptPayloadError("attempted to read past the end of the bitstream")
+        chunk = self._bits[self._position : self._position + width]
+        self._position += width
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value
+
+    def read_bit_array(self, count: int) -> np.ndarray:
+        """Read ``count`` raw bits as a uint8 array."""
+        if self._position + count > self._bits.size:
+            raise CorruptPayloadError("attempted to read past the end of the bitstream")
+        chunk = self._bits[self._position : self._position + count]
+        self._position += count
+        return chunk.copy()
+
+    def read_fixed_width(self, count: int, width: int) -> np.ndarray:
+        """Read ``count`` unsigned integers of ``width`` bits each (vectorised)."""
+        if width == 0:
+            return np.zeros(count, dtype=np.uint64)
+        total = count * width
+        if self._position + total > self._bits.size:
+            raise CorruptPayloadError("attempted to read past the end of the bitstream")
+        chunk = self._bits[self._position : self._position + total]
+        self._position += total
+        bits = chunk.reshape(count, width).astype(np.uint64)
+        weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
+        return bits @ weights
+
+
+def pack_bit_flags(flags: Iterable[bool]) -> bytes:
+    """Pack a sequence of booleans into bytes (MSB-first within each byte)."""
+    array = np.fromiter((1 if flag else 0 for flag in flags), dtype=np.uint8)
+    return np.packbits(array).tobytes()
+
+
+def unpack_bit_flags(payload: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bit_flags`, returning a boolean array of ``count``."""
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    if bits.size < count:
+        raise CorruptPayloadError(
+            f"bit-flag payload holds {bits.size} bits, expected at least {count}"
+        )
+    return bits[:count].astype(bool)

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the compression substrate."""
+
+from __future__ import annotations
+
+
+class CompressionError(Exception):
+    """Base class for every error raised by the compression subpackage."""
+
+
+class InvalidErrorBoundError(CompressionError, ValueError):
+    """Raised when an error bound is non-positive or otherwise unusable."""
+
+
+class CorruptPayloadError(CompressionError, ValueError):
+    """Raised when a compressed payload fails structural validation."""
+
+
+class UnknownCompressorError(CompressionError, KeyError):
+    """Raised when a compressor name is not present in the registry."""
+
+
+class UnsupportedDataError(CompressionError, TypeError):
+    """Raised when a compressor is handed data it cannot process."""

@@ -1,0 +1,307 @@
+"""Canonical Huffman coding over integer symbol streams.
+
+SZ2 and SZ3 entropy-code their quantization indices with Huffman coding
+followed by a general-purpose lossless pass.  This module provides a
+self-contained canonical Huffman codec with:
+
+* a heap-based code construction (:func:`build_code_lengths`),
+* canonical code assignment so that only the (symbol, length) table needs to
+  be serialized,
+* a fully vectorised encoder (bit placement is done with numpy, looping only
+  over the distinct bit positions of the longest codeword),
+* a table-driven decoder.
+
+The codec operates on arbitrary integer symbols; callers are expected to map
+their data (e.g. quantization indices) onto integers first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compression.errors import CorruptPayloadError
+
+_TABLE_STRUCT = struct.Struct("<IQ")
+
+
+def build_frequency_table(symbols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(unique_symbols, counts)`` for an integer symbol array."""
+    symbols = np.asarray(symbols).ravel()
+    if symbols.size == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    unique, counts = np.unique(symbols, return_counts=True)
+    return unique.astype(np.int64), counts.astype(np.int64)
+
+
+def build_code_lengths(frequencies: np.ndarray) -> np.ndarray:
+    """Compute Huffman code lengths for each symbol given its frequency.
+
+    Uses the classic two-queue/heap construction.  A single-symbol alphabet is
+    assigned a 1-bit code so that the encoded stream is still well-formed.
+    """
+    frequencies = np.asarray(frequencies, dtype=np.int64)
+    n = frequencies.size
+    if n == 0:
+        return np.array([], dtype=np.int64)
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+
+    counter = itertools.count()
+    # Heap entries: (frequency, tie-breaker, node). A node is either a leaf
+    # index (int) or a tuple of two child nodes.
+    heap: list = [(int(freq), next(counter), index) for index, freq in enumerate(frequencies)]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        freq_a, _, node_a = heapq.heappop(heap)
+        freq_b, _, node_b = heapq.heappop(heap)
+        heapq.heappush(heap, (freq_a + freq_b, next(counter), (node_a, node_b)))
+
+    lengths = np.zeros(n, dtype=np.int64)
+    # Iterative tree walk to avoid recursion limits on skewed distributions.
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = max(depth, 1)
+    return lengths
+
+
+def assign_canonical_codes(
+    symbols: np.ndarray, lengths: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assign canonical codewords given per-symbol code lengths.
+
+    Returns ``(ordered_symbols, ordered_lengths, codes)`` where entries are
+    sorted by ``(length, symbol)`` and ``codes[i]`` holds the integer codeword
+    for ``ordered_symbols[i]``.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    order = np.lexsort((symbols, lengths))
+    ordered_symbols = symbols[order]
+    ordered_lengths = lengths[order]
+    codes = np.zeros(ordered_symbols.size, dtype=np.uint64)
+    code = 0
+    previous_length = int(ordered_lengths[0]) if ordered_lengths.size else 0
+    for i, length in enumerate(ordered_lengths):
+        length = int(length)
+        code <<= length - previous_length
+        codes[i] = code
+        code += 1
+        previous_length = length
+    return ordered_symbols, ordered_lengths, codes
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical Huffman code book.
+
+    Attributes
+    ----------
+    symbols:
+        Distinct integer symbols, sorted by ``(code length, symbol)``.
+    lengths:
+        Code length (bits) per symbol, same order as ``symbols``.
+    codes:
+        Canonical codeword per symbol, same order as ``symbols``.
+    """
+
+    symbols: np.ndarray
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_symbols(cls, data: np.ndarray) -> "HuffmanCode":
+        """Build a code book from the symbols present in ``data``."""
+        unique, counts = build_frequency_table(data)
+        lengths = build_code_lengths(counts)
+        ordered_symbols, ordered_lengths, codes = assign_canonical_codes(unique, lengths)
+        return cls(symbols=ordered_symbols, lengths=ordered_lengths, codes=codes)
+
+    @property
+    def max_length(self) -> int:
+        """Longest codeword length in bits (0 for an empty code book)."""
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def expected_bits(self, data: np.ndarray) -> int:
+        """Number of payload bits needed to encode ``data`` with this book."""
+        if self.symbols.size == 0:
+            return 0
+        lookup = self._symbol_to_index()
+        indices = np.array([lookup[int(s)] for s in np.unique(data)], dtype=np.int64)
+        unique, counts = build_frequency_table(data)
+        del unique
+        return int(np.sum(counts * self.lengths[indices]))
+
+    def _symbol_to_index(self) -> Dict[int, int]:
+        return {int(symbol): index for index, symbol in enumerate(self.symbols)}
+
+    # ------------------------------------------------------------------
+    # Table serialization
+    # ------------------------------------------------------------------
+    def serialize_table(self) -> bytes:
+        """Serialize the (symbol, length) table; codes are re-derived on load."""
+        parts = [struct.pack("<I", self.symbols.size)]
+        for symbol, length in zip(self.symbols, self.lengths):
+            parts.append(_TABLE_STRUCT.pack(int(length), int(np.uint64(np.int64(symbol)))))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize_table(cls, payload: bytes) -> "HuffmanCode":
+        """Inverse of :meth:`serialize_table`."""
+        if len(payload) < 4:
+            raise CorruptPayloadError("Huffman table payload too short")
+        (count,) = struct.unpack_from("<I", payload, 0)
+        offset = 4
+        expected = offset + count * _TABLE_STRUCT.size
+        if len(payload) < expected:
+            raise CorruptPayloadError("Huffman table payload truncated")
+        symbols = np.zeros(count, dtype=np.int64)
+        lengths = np.zeros(count, dtype=np.int64)
+        for i in range(count):
+            length, symbol_bits = _TABLE_STRUCT.unpack_from(payload, offset)
+            offset += _TABLE_STRUCT.size
+            lengths[i] = length
+            symbols[i] = np.int64(np.uint64(symbol_bits))
+        ordered_symbols, ordered_lengths, codes = assign_canonical_codes(symbols, lengths)
+        return cls(symbols=ordered_symbols, lengths=ordered_lengths, codes=codes)
+
+
+class HuffmanCodec:
+    """Encode/decode integer arrays with canonical Huffman coding."""
+
+    def encode(self, data: np.ndarray) -> bytes:
+        """Encode an integer array into a self-describing payload."""
+        data = np.asarray(data, dtype=np.int64).ravel()
+        code = HuffmanCode.from_symbols(data)
+        table = code.serialize_table()
+        payload_bits, bit_count = self._encode_bits(data, code)
+        header = struct.pack("<QQ", data.size, bit_count)
+        return header + struct.pack("<I", len(table)) + table + payload_bits
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode`."""
+        if len(payload) < 20:
+            raise CorruptPayloadError("Huffman payload too short")
+        count, bit_count = struct.unpack_from("<QQ", payload, 0)
+        (table_len,) = struct.unpack_from("<I", payload, 16)
+        table_start = 20
+        table_end = table_start + table_len
+        if len(payload) < table_end:
+            raise CorruptPayloadError("Huffman payload truncated before table end")
+        code = HuffmanCode.deserialize_table(payload[table_start:table_end])
+        bits = np.unpackbits(np.frombuffer(payload[table_end:], dtype=np.uint8))
+        if bits.size < bit_count:
+            raise CorruptPayloadError("Huffman payload truncated before bitstream end")
+        return self._decode_bits(bits[:bit_count], count, code)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_bits(data: np.ndarray, code: HuffmanCode) -> Tuple[bytes, int]:
+        if data.size == 0:
+            return b"", 0
+        # Map each data symbol to its index in the code book.
+        indices = np.searchsorted(np.sort(code.symbols), data)
+        sort_order = np.argsort(code.symbols)
+        index_of_sorted = sort_order[indices]
+        lengths = code.lengths[index_of_sorted]
+        codewords = code.codes[index_of_sorted]
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        total_bits = int(ends[-1])
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        max_length = code.max_length
+        # Place bit j (counted from the MSB of each codeword) for all symbols
+        # whose codeword is longer than j.  This loops max_length times, with
+        # all per-symbol work vectorised.
+        for j in range(max_length):
+            mask = lengths > j
+            if not np.any(mask):
+                continue
+            positions = starts[mask] + j
+            shift = (lengths[mask] - 1 - j).astype(np.uint64)
+            bits[positions] = ((codewords[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+        return np.packbits(bits).tobytes(), total_bits
+
+    @staticmethod
+    def _decode_bits(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+        if count == 0:
+            return np.array([], dtype=np.int64)
+        max_length = code.max_length
+        if max_length == 0:
+            raise CorruptPayloadError("cannot decode with an empty Huffman code book")
+        if max_length <= 20:
+            return HuffmanCodec._decode_with_table(bits, count, code)
+        return HuffmanCodec._decode_bit_by_bit(bits, count, code)
+
+    @staticmethod
+    def _decode_with_table(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+        max_length = code.max_length
+        table_symbols = np.zeros(1 << max_length, dtype=np.int64)
+        table_lengths = np.zeros(1 << max_length, dtype=np.int64)
+        for symbol, length, codeword in zip(code.symbols, code.lengths, code.codes):
+            length = int(length)
+            prefix = int(codeword) << (max_length - length)
+            span = 1 << (max_length - length)
+            table_symbols[prefix : prefix + span] = symbol
+            table_lengths[prefix : prefix + span] = length
+        # Pad the tail so that a full max_length window can always be read.
+        padded = np.concatenate([bits, np.zeros(max_length, dtype=np.uint8)])
+        weights = 1 << np.arange(max_length - 1, -1, -1)
+        output = np.empty(count, dtype=np.int64)
+        position = 0
+        total_bits = bits.size
+        for i in range(count):
+            if position >= total_bits:
+                raise CorruptPayloadError("Huffman bitstream exhausted before all symbols decoded")
+            window = int(padded[position : position + max_length] @ weights)
+            length = table_lengths[window]
+            if length == 0:
+                raise CorruptPayloadError("invalid Huffman codeword encountered")
+            output[i] = table_symbols[window]
+            position += int(length)
+        return output
+
+    @staticmethod
+    def _decode_bit_by_bit(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+        # First-code/offset decoding for canonical codes; used only when the
+        # longest codeword would make the lookup table unreasonably large.
+        lengths = code.lengths
+        first_code: Dict[int, int] = {}
+        first_index: Dict[int, int] = {}
+        for index, length in enumerate(lengths):
+            length = int(length)
+            if length not in first_code:
+                first_code[length] = int(code.codes[index])
+                first_index[length] = index
+        counts_per_length = {int(l): int(np.sum(lengths == l)) for l in np.unique(lengths)}
+        output = np.empty(count, dtype=np.int64)
+        value = 0
+        length = 0
+        position = 0
+        decoded = 0
+        while decoded < count:
+            if position >= bits.size:
+                raise CorruptPayloadError("Huffman bitstream exhausted before all symbols decoded")
+            value = (value << 1) | int(bits[position])
+            position += 1
+            length += 1
+            if length in first_code:
+                offset = value - first_code[length]
+                if 0 <= offset < counts_per_length[length]:
+                    output[decoded] = code.symbols[first_index[length] + offset]
+                    decoded += 1
+                    value = 0
+                    length = 0
+        return output

@@ -1,0 +1,218 @@
+"""Measurement helpers for compressor evaluation.
+
+The paper's evaluation reports, per compressor and error bound: runtime,
+throughput (MB/s of uncompressed data processed), compression ratio, and the
+quality of the reconstruction (via downstream model accuracy, but also the
+usual rate-distortion metrics).  This module centralises those measurements so
+the experiment harnesses and benchmarks all report identical quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compression.base import (
+    CompressionStats,
+    ErrorBoundMode,
+    LosslessCompressor,
+    LossyCompressor,
+)
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original size divided by compressed size."""
+    if compressed_nbytes <= 0:
+        return float("inf")
+    return original_nbytes / compressed_nbytes
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest element-wise absolute deviation."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.size == 0:
+        return 0.0
+    return float(np.max(np.abs(original - reconstructed)))
+
+
+def mean_squared_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared element-wise deviation."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.size == 0:
+        return 0.0
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, using the data value range as peak."""
+    original = np.asarray(original, dtype=np.float64)
+    mse = mean_squared_error(original, reconstructed)
+    if mse == 0.0:
+        return float("inf")
+    value_range = float(original.max() - original.min()) if original.size else 1.0
+    if value_range == 0.0:
+        value_range = 1.0
+    return float(20.0 * np.log10(value_range) - 10.0 * np.log10(mse))
+
+
+@dataclass
+class LossyEvaluation:
+    """Full rate/runtime/quality report for one lossy compression run."""
+
+    compressor: str
+    error_bound: float
+    mode: str
+    original_nbytes: int
+    compressed_nbytes: int
+    compress_seconds: float
+    decompress_seconds: float
+    max_abs_error: float
+    mse: float
+    psnr_db: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio."""
+        return compression_ratio(self.original_nbytes, self.compressed_nbytes)
+
+    @property
+    def compress_throughput_mbps(self) -> float:
+        """Uncompressed megabytes processed per second during compression."""
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.original_nbytes / 1e6 / self.compress_seconds
+
+    @property
+    def decompress_throughput_mbps(self) -> float:
+        """Uncompressed megabytes produced per second during decompression."""
+        if self.decompress_seconds <= 0:
+            return float("inf")
+        return self.original_nbytes / 1e6 / self.decompress_seconds
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten the evaluation into a dictionary suitable for tabulation."""
+        return {
+            "compressor": self.compressor,
+            "error_bound": self.error_bound,
+            "mode": self.mode,
+            "ratio": self.ratio,
+            "compress_seconds": self.compress_seconds,
+            "decompress_seconds": self.decompress_seconds,
+            "throughput_mb_s": self.compress_throughput_mbps,
+            "max_abs_error": self.max_abs_error,
+            "psnr_db": self.psnr_db,
+            **self.extras,
+        }
+
+
+def evaluate_lossy(
+    compressor: LossyCompressor,
+    data: np.ndarray,
+    error_bound: float,
+    mode: ErrorBoundMode = ErrorBoundMode.REL,
+) -> LossyEvaluation:
+    """Run one compress/decompress cycle and collect every reported metric."""
+    data = np.asarray(data)
+    start = time.perf_counter()
+    payload = compressor.compress(data, error_bound, mode)
+    compress_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    reconstructed = compressor.decompress(payload)
+    decompress_seconds = time.perf_counter() - start
+    return LossyEvaluation(
+        compressor=compressor.name,
+        error_bound=float(error_bound),
+        mode=mode.value,
+        original_nbytes=int(data.nbytes),
+        compressed_nbytes=len(payload),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+        max_abs_error=max_abs_error(data, reconstructed),
+        mse=mean_squared_error(data, reconstructed),
+        psnr_db=psnr(data, reconstructed),
+    )
+
+
+@dataclass
+class LosslessEvaluation:
+    """Rate/runtime report for one lossless compression run."""
+
+    compressor: str
+    original_nbytes: int
+    compressed_nbytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio."""
+        return compression_ratio(self.original_nbytes, self.compressed_nbytes)
+
+    @property
+    def compress_throughput_mbps(self) -> float:
+        """Uncompressed megabytes processed per second during compression."""
+        if self.compress_seconds <= 0:
+            return float("inf")
+        return self.original_nbytes / 1e6 / self.compress_seconds
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten the evaluation into a dictionary suitable for tabulation."""
+        return {
+            "compressor": self.compressor,
+            "ratio": self.ratio,
+            "compress_seconds": self.compress_seconds,
+            "decompress_seconds": self.decompress_seconds,
+            "throughput_mb_s": self.compress_throughput_mbps,
+        }
+
+
+def evaluate_lossless(compressor: LosslessCompressor, data: bytes) -> LosslessEvaluation:
+    """Run one lossless compress/decompress cycle and verify exactness."""
+    start = time.perf_counter()
+    payload = compressor.compress(data)
+    compress_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = compressor.decompress(payload)
+    decompress_seconds = time.perf_counter() - start
+    if restored != data:
+        raise AssertionError(
+            f"lossless compressor {compressor.name!r} failed to round-trip its input"
+        )
+    return LosslessEvaluation(
+        compressor=compressor.name,
+        original_nbytes=len(data),
+        compressed_nbytes=len(payload),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+def stats_from_evaluation(evaluation: LossyEvaluation) -> CompressionStats:
+    """Convert a :class:`LossyEvaluation` into the lighter-weight stats type."""
+    return CompressionStats(
+        original_nbytes=evaluation.original_nbytes,
+        compressed_nbytes=evaluation.compressed_nbytes,
+        compress_seconds=evaluation.compress_seconds,
+        decompress_seconds=evaluation.decompress_seconds,
+        max_abs_error=evaluation.max_abs_error,
+        metadata={"compressor": evaluation.compressor, "error_bound": evaluation.error_bound},
+    )
+
+
+__all__ = [
+    "compression_ratio",
+    "max_abs_error",
+    "mean_squared_error",
+    "psnr",
+    "LossyEvaluation",
+    "LosslessEvaluation",
+    "evaluate_lossy",
+    "evaluate_lossless",
+    "stats_from_evaluation",
+]

@@ -1,0 +1,85 @@
+"""Name-based registries for lossy and lossless compressors.
+
+The FedSZ pipeline, the experiment harnesses and the examples all refer to
+compressors by the short names used in the paper ("sz2", "sz3", "szx", "zfp",
+"blosc-lz", "gzip", ...).  The registries here map those names onto factory
+callables so that new codecs can be plugged in without touching the callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compression.base import LosslessCompressor, LossyCompressor
+from repro.compression.errors import UnknownCompressorError
+from repro.compression.lossless import (
+    BloscLZCompressor,
+    GzipCompressor,
+    XzCompressor,
+    ZlibCompressor,
+    ZstdCompressor,
+)
+from repro.compression.sz2 import SZ2Compressor
+from repro.compression.sz3 import SZ3Compressor
+from repro.compression.szx import SZxCompressor
+from repro.compression.zfp import ZFPCompressor
+
+_LOSSY_FACTORIES: Dict[str, Callable[[], LossyCompressor]] = {}
+_LOSSLESS_FACTORIES: Dict[str, Callable[[], LosslessCompressor]] = {}
+
+
+def register_lossy(name: str, factory: Callable[[], LossyCompressor]) -> None:
+    """Register (or replace) a lossy compressor factory under ``name``."""
+    _LOSSY_FACTORIES[name.lower()] = factory
+
+
+def register_lossless(name: str, factory: Callable[[], LosslessCompressor]) -> None:
+    """Register (or replace) a lossless compressor factory under ``name``."""
+    _LOSSLESS_FACTORIES[name.lower()] = factory
+
+
+def get_lossy_compressor(name: str) -> LossyCompressor:
+    """Instantiate the lossy compressor registered under ``name``."""
+    try:
+        factory = _LOSSY_FACTORIES[name.lower()]
+    except KeyError:
+        raise UnknownCompressorError(
+            f"unknown lossy compressor {name!r}; available: {sorted(_LOSSY_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def get_lossless_compressor(name: str) -> LosslessCompressor:
+    """Instantiate the lossless compressor registered under ``name``."""
+    try:
+        factory = _LOSSLESS_FACTORIES[name.lower()]
+    except KeyError:
+        raise UnknownCompressorError(
+            f"unknown lossless compressor {name!r}; available: {sorted(_LOSSLESS_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_lossy_compressors() -> List[str]:
+    """Names of every registered lossy compressor."""
+    return sorted(_LOSSY_FACTORIES)
+
+
+def available_lossless_compressors() -> List[str]:
+    """Names of every registered lossless compressor."""
+    return sorted(_LOSSLESS_FACTORIES)
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+register_lossy("sz2", SZ2Compressor)
+register_lossy("sz3", SZ3Compressor)
+register_lossy("szx", SZxCompressor)
+register_lossy("zfp", ZFPCompressor)
+
+register_lossless("blosc-lz", BloscLZCompressor)
+register_lossless("zstd", ZstdCompressor)
+register_lossless("zlib", ZlibCompressor)
+register_lossless("gzip", GzipCompressor)
+register_lossless("xz", XzCompressor)

@@ -1,0 +1,250 @@
+"""SZ2-style error-bounded lossy compressor.
+
+SZ2 (Liang et al., IEEE Big Data 2018) is a prediction-based compressor: data
+are processed in small blocks, each block is predicted either with a Lorenzo
+predictor (previous-value prediction) or a linear-regression fit, the
+prediction residuals are quantized onto a uniform grid of width ``2ε`` and the
+resulting integer indices are entropy-coded (Huffman + Zstd in the original
+implementation).
+
+This reproduction implements the same pipeline for the 1-D flattened tensors
+FedSZ produces:
+
+* per-block hybrid prediction — Lorenzo (delta of quantized values, which for
+  uniform quantization telescopes to an exactly error-bounded reconstruction)
+  versus a per-block linear regression, chosen by an estimated coding cost;
+* uniform error-bounded quantization of the residuals;
+* an entropy stage (DEFLATE by default, canonical Huffman + DEFLATE
+  optionally) standing in for Huffman + Zstd.
+
+The decompressed output always satisfies ``|x - x̂| <= ε`` element-wise, where
+``ε`` is the absolute bound resolved from the requested mode.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import (
+    ErrorBoundMode,
+    LossyCompressor,
+    pack_array,
+    pack_sections,
+    resolve_error_bound,
+    unpack_array,
+    unpack_sections,
+)
+from repro.compression.bitstream import pack_bit_flags, unpack_bit_flags
+from repro.compression.entropy import EntropyBackend, decode_indices, encode_indices
+from repro.compression.errors import CorruptPayloadError
+
+_META_STRUCT = struct.Struct("<IQdddII")
+_FORMAT_VERSION = 2
+
+_MODE_LORENZO = 0
+_MODE_REGRESSION = 1
+
+
+class SZ2Compressor(LossyCompressor):
+    """Blockwise hybrid Lorenzo/regression compressor (SZ2 analogue)."""
+
+    name = "sz2"
+
+    def __init__(
+        self,
+        block_size: int = 256,
+        entropy_backend: EntropyBackend = "deflate",
+        compression_level: int = 6,
+    ) -> None:
+        if block_size < 4:
+            raise ValueError(f"block_size must be >= 4, got {block_size}")
+        self.block_size = int(block_size)
+        self.entropy_backend = entropy_backend
+        self.compression_level = int(compression_level)
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> bytes:
+        data = self._validate_input(data)
+        original_shape = data.shape
+        original_dtype = data.dtype
+        flat = data.astype(np.float64, copy=False).ravel()
+        absolute_bound = resolve_error_bound(flat, error_bound, mode)
+
+        if flat.size == 0 or absolute_bound <= 0:
+            # Constant or empty data: fall back to storing the raw values.
+            sections = {
+                "meta": self._pack_meta(flat.size, absolute_bound, 0.0, original_shape, original_dtype, raw=True),
+                "raw": pack_array(data),
+            }
+            return pack_sections(sections)
+
+        # Anchor the quantization grid at zero: model weights are centred on
+        # zero, so this keeps the quantization error itself zero-mean and makes
+        # the error distribution mirror the (heavy-tailed) weight distribution,
+        # which is the behaviour Section VII-D analyses.
+        offset = 0.0
+        bin_width = 2.0 * absolute_bound
+        block = self.block_size
+        padded, num_blocks = _pad_to_blocks(flat, block)
+        blocks = padded.reshape(num_blocks, block)
+
+        # --- Lorenzo candidate -------------------------------------------------
+        quantized = np.rint((blocks - offset) / bin_width).astype(np.int64)
+        lorenzo_codes = np.empty_like(quantized)
+        lorenzo_codes[:, 0] = quantized[:, 0]
+        lorenzo_codes[:, 1:] = np.diff(quantized, axis=1)
+
+        # --- Regression candidate ----------------------------------------------
+        positions = np.arange(block, dtype=np.float64)
+        position_mean = positions.mean()
+        position_var = float(np.sum((positions - position_mean) ** 2))
+        block_means = blocks.mean(axis=1)
+        slopes = ((blocks - block_means[:, None]) @ (positions - position_mean)) / position_var
+        intercepts = block_means - slopes * position_mean
+        # Coefficients are stored as float32; predict with the stored precision
+        # so that compression and decompression agree exactly.
+        slopes32 = slopes.astype(np.float32)
+        intercepts32 = intercepts.astype(np.float32)
+        predictions = (
+            intercepts32.astype(np.float64)[:, None]
+            + slopes32.astype(np.float64)[:, None] * positions[None, :]
+        )
+        regression_codes = np.rint((blocks - predictions) / bin_width).astype(np.int64)
+
+        # --- Per-block mode selection ------------------------------------------
+        lorenzo_cost = _estimate_block_bits(lorenzo_codes)
+        regression_cost = _estimate_block_bits(regression_codes) + 64.0  # two float32 coefficients
+        use_regression = regression_cost < lorenzo_cost
+
+        codes = np.where(use_regression[:, None], regression_codes, lorenzo_codes)
+        coefficients = np.stack(
+            [intercepts32[use_regression], slopes32[use_regression]], axis=1
+        ).astype(np.float32)
+
+        sections = {
+            "meta": self._pack_meta(flat.size, absolute_bound, offset, original_shape, original_dtype, raw=False),
+            "modes": pack_bit_flags(use_regression.tolist()),
+            "coef": pack_array(coefficients),
+            "codes": encode_indices(codes.ravel(), self.entropy_backend, self.compression_level),
+        }
+        return pack_sections(sections)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        sections = unpack_sections(payload)
+        meta = self._unpack_meta(sections.get("meta"))
+        if meta["raw"]:
+            return unpack_array(sections["raw"])
+
+        size = meta["size"]
+        absolute_bound = meta["absolute_bound"]
+        offset = meta["offset"]
+        bin_width = 2.0 * absolute_bound
+        block = meta["block_size"]
+        num_blocks = -(-size // block) if size else 0
+
+        codes = decode_indices(sections["codes"]).reshape(num_blocks, block)
+        use_regression = unpack_bit_flags(sections["modes"], num_blocks)
+        coefficients = unpack_array(sections["coef"]).reshape(-1, 2)
+
+        reconstruction = np.empty((num_blocks, block), dtype=np.float64)
+
+        lorenzo_mask = ~use_regression
+        if np.any(lorenzo_mask):
+            quantized = np.cumsum(codes[lorenzo_mask], axis=1)
+            reconstruction[lorenzo_mask] = offset + quantized * bin_width
+
+        if np.any(use_regression):
+            positions = np.arange(block, dtype=np.float64)
+            intercepts = coefficients[:, 0].astype(np.float64)
+            slopes = coefficients[:, 1].astype(np.float64)
+            predictions = intercepts[:, None] + slopes[:, None] * positions[None, :]
+            reconstruction[use_regression] = predictions + codes[use_regression] * bin_width
+
+        flat = reconstruction.ravel()[:size]
+        return flat.astype(meta["dtype"]).reshape(meta["shape"])
+
+    # ------------------------------------------------------------------
+    # Metadata framing
+    # ------------------------------------------------------------------
+    def _pack_meta(
+        self,
+        size: int,
+        absolute_bound: float,
+        offset: float,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        raw: bool,
+    ) -> bytes:
+        dtype_name = np.dtype(dtype).str.encode("ascii")
+        header = _META_STRUCT.pack(
+            _FORMAT_VERSION,
+            size,
+            float(absolute_bound),
+            float(offset),
+            0.0,
+            self.block_size,
+            1 if raw else 0,
+        )
+        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
+        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
+
+    @staticmethod
+    def _unpack_meta(blob: bytes | None) -> dict:
+        if not blob or len(blob) < _META_STRUCT.size:
+            raise CorruptPayloadError("SZ2 payload missing metadata section")
+        version, size, absolute_bound, offset, _, block_size, raw = _META_STRUCT.unpack_from(blob, 0)
+        if version != _FORMAT_VERSION:
+            raise CorruptPayloadError(f"unsupported SZ2 payload version {version}")
+        cursor = _META_STRUCT.size
+        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
+        cursor += 2
+        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
+        cursor += dtype_len
+        (ndim,) = struct.unpack_from("<B", blob, cursor)
+        cursor += 1
+        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
+        return {
+            "size": int(size),
+            "absolute_bound": float(absolute_bound),
+            "offset": float(offset),
+            "block_size": int(block_size),
+            "raw": bool(raw),
+            "dtype": dtype,
+            "shape": tuple(int(s) for s in shape),
+        }
+
+
+def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
+    """Pad a 1-D array with its last value up to a whole number of blocks."""
+    num_blocks = -(-flat.size // block)
+    padded_size = num_blocks * block
+    if padded_size == flat.size:
+        return flat, num_blocks
+    padded = np.empty(padded_size, dtype=np.float64)
+    padded[: flat.size] = flat
+    padded[flat.size :] = flat[-1]
+    return padded, num_blocks
+
+
+def _estimate_block_bits(codes: np.ndarray) -> np.ndarray:
+    """Rough per-block coding cost in bits used for mode selection.
+
+    The cost model assumes roughly ``log2(2|c| + 1) + 1`` bits per residual,
+    which tracks the behaviour of the downstream entropy coder closely enough
+    to pick the better predictor without actually running it per block.
+    """
+    magnitudes = np.abs(codes).astype(np.float64)
+    return np.sum(np.log2(2.0 * magnitudes + 1.0) + 1.0, axis=1)

@@ -1,0 +1,241 @@
+"""SZx-style ultra-fast error-bounded lossy compressor.
+
+SZx (Yu et al., HPDC 2022) trades compression ratio for speed: the data are
+scanned in fixed-size blocks, each block is either declared *constant* (every
+value within the error bound of the block mean, so only the mean is stored) or
+*non-constant*, in which case the values are stored with cheap bit-wise
+truncation and no entropy coding at all.
+
+The reproduction follows the same two-mode design:
+
+* constant blocks store a single float32 mean;
+* non-constant blocks store, per value, a sign bit and a magnitude index
+  obtained by *truncating* (not rounding) ``|x - mean| / ε`` — truncation
+  toward the mean mirrors SZx's bit-plane truncation and is the reason its
+  reconstructions are noticeably biased compared to the rounding-based SZ2 /
+  SZ3 pipelines, which is exactly the behaviour the FedSZ paper observes
+  (compression ratio pinned near ~4.8× and poor model accuracy).
+
+No entropy stage is applied, keeping the codec extremely fast.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import (
+    ErrorBoundMode,
+    LossyCompressor,
+    pack_array,
+    pack_sections,
+    resolve_error_bound,
+    unpack_array,
+    unpack_sections,
+)
+from repro.compression.bitstream import pack_bit_flags, unpack_bit_flags
+from repro.compression.errors import CorruptPayloadError
+
+_META_STRUCT = struct.Struct("<IQdII")
+_FORMAT_VERSION = 2
+
+
+class SZxCompressor(LossyCompressor):
+    """Constant-block + bit-truncation compressor (SZx analogue)."""
+
+    name = "szx"
+
+    def __init__(self, block_size: int = 128) -> None:
+        if block_size < 4:
+            raise ValueError(f"block_size must be >= 4, got {block_size}")
+        self.block_size = int(block_size)
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> bytes:
+        data = self._validate_input(data)
+        original_shape = data.shape
+        original_dtype = data.dtype
+        flat = data.astype(np.float64, copy=False).ravel()
+        absolute_bound = resolve_error_bound(flat, error_bound, mode)
+
+        if flat.size == 0 or absolute_bound <= 0:
+            sections = {
+                "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=True),
+                "raw": pack_array(data),
+            }
+            return pack_sections(sections)
+
+        block = self.block_size
+        padded, num_blocks = _pad_to_blocks(flat, block)
+        blocks = padded.reshape(num_blocks, block)
+
+        # Block means are stored as float32, so compute constancy against the
+        # value that will actually be reconstructed.
+        means = blocks.mean(axis=1).astype(np.float32).astype(np.float64)
+        deviations = blocks - means[:, None]
+        is_constant = np.max(np.abs(deviations), axis=1) <= absolute_bound
+
+        # Non-constant blocks: truncate |x - mean| / ε toward zero, keep a sign
+        # bit and a per-block fixed bit width.
+        magnitudes = np.floor(np.abs(deviations) / absolute_bound).astype(np.uint64)
+        signs = (deviations < 0).astype(np.uint8)
+        block_max = magnitudes.max(axis=1)
+        widths = np.zeros(num_blocks, dtype=np.uint8)
+        nonconstant = ~is_constant
+        if np.any(nonconstant):
+            widths[nonconstant] = np.maximum(
+                1, np.ceil(np.log2(block_max[nonconstant].astype(np.float64) + 1.0)).astype(np.uint8)
+            )
+
+        # Blocks are stored grouped by bit width (ascending) so that each group
+        # can be packed and unpacked with a single vectorised operation instead
+        # of a per-block Python loop.  The decompressor reconstructs the same
+        # grouping from the ``widths`` array.
+        payload_parts = []
+        for width in np.unique(widths[nonconstant]):
+            group = nonconstant & (widths == width)
+            packed = _pack_group_values(magnitudes[group], signs[group], int(width))
+            payload_parts.append(packed)
+        values_blob = b"".join(payload_parts)
+
+        sections = {
+            "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=False),
+            "flags": pack_bit_flags(is_constant.tolist()),
+            "means": pack_array(means.astype(np.float32)),
+            "widths": pack_array(widths),
+            "values": values_blob,
+        }
+        return pack_sections(sections)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        sections = unpack_sections(payload)
+        meta = self._unpack_meta(sections.get("meta"))
+        if meta["raw"]:
+            return unpack_array(sections["raw"])
+
+        size = meta["size"]
+        absolute_bound = meta["absolute_bound"]
+        block = meta["block_size"]
+        num_blocks = -(-size // block)
+
+        is_constant = unpack_bit_flags(sections["flags"], num_blocks)
+        means = unpack_array(sections["means"]).astype(np.float64)
+        widths = unpack_array(sections["widths"]).astype(np.int64)
+        values_blob = sections["values"]
+
+        reconstruction = np.repeat(means[:, None], block, axis=1)
+
+        cursor = 0
+        nonconstant = ~is_constant
+        for width in np.unique(widths[nonconstant]):
+            group = nonconstant & (widths == width)
+            group_count = int(np.count_nonzero(group))
+            nbytes = _packed_group_nbytes(group_count, block, int(width))
+            chunk = values_blob[cursor : cursor + nbytes]
+            if len(chunk) != nbytes:
+                raise CorruptPayloadError("SZx payload truncated inside value blocks")
+            cursor += nbytes
+            magnitudes, signs = _unpack_group_values(chunk, group_count, block, int(width))
+            deviations = magnitudes.astype(np.float64) * absolute_bound
+            deviations[signs.astype(bool)] *= -1.0
+            reconstruction[group] = means[group, None] + deviations
+
+        flat = reconstruction.ravel()[:size]
+        return flat.astype(meta["dtype"]).reshape(meta["shape"])
+
+    # ------------------------------------------------------------------
+    # Metadata framing
+    # ------------------------------------------------------------------
+    def _pack_meta(
+        self,
+        size: int,
+        absolute_bound: float,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        raw: bool,
+    ) -> bytes:
+        dtype_name = np.dtype(dtype).str.encode("ascii")
+        header = _META_STRUCT.pack(
+            _FORMAT_VERSION, size, float(absolute_bound), self.block_size, 1 if raw else 0
+        )
+        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
+        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
+
+    @staticmethod
+    def _unpack_meta(blob: bytes | None) -> dict:
+        if not blob or len(blob) < _META_STRUCT.size:
+            raise CorruptPayloadError("SZx payload missing metadata section")
+        version, size, absolute_bound, block_size, raw = _META_STRUCT.unpack_from(blob, 0)
+        if version != _FORMAT_VERSION:
+            raise CorruptPayloadError(f"unsupported SZx payload version {version}")
+        cursor = _META_STRUCT.size
+        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
+        cursor += 2
+        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
+        cursor += dtype_len
+        (ndim,) = struct.unpack_from("<B", blob, cursor)
+        cursor += 1
+        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
+        return {
+            "size": int(size),
+            "absolute_bound": float(absolute_bound),
+            "block_size": int(block_size),
+            "raw": bool(raw),
+            "dtype": dtype,
+            "shape": tuple(int(s) for s in shape),
+        }
+
+
+def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
+    """Pad a 1-D array with its last value up to a whole number of blocks."""
+    num_blocks = -(-flat.size // block)
+    padded_size = num_blocks * block
+    if padded_size == flat.size:
+        return flat, num_blocks
+    padded = np.empty(padded_size, dtype=np.float64)
+    padded[: flat.size] = flat
+    padded[flat.size :] = flat[-1]
+    return padded, num_blocks
+
+
+def _packed_group_nbytes(group_count: int, block: int, width: int) -> int:
+    """Bytes used to store a group of non-constant blocks at the same width."""
+    total_bits = group_count * block * (width + 1)
+    return (total_bits + 7) // 8
+
+
+def _pack_group_values(magnitudes: np.ndarray, signs: np.ndarray, width: int) -> bytes:
+    """Bit-pack sign + fixed-width magnitude for a group of blocks."""
+    group_count, block = magnitudes.shape
+    bits = np.zeros((group_count, block, width + 1), dtype=np.uint8)
+    bits[:, :, 0] = signs
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits[:, :, 1:] = (
+        (magnitudes[:, :, None] >> shifts[None, None, :]) & np.uint64(1)
+    ).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def _unpack_group_values(
+    chunk: bytes, group_count: int, block: int, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`_pack_group_values`."""
+    total_bits = group_count * block * (width + 1)
+    bits = np.unpackbits(np.frombuffer(chunk, dtype=np.uint8))[:total_bits]
+    bits = bits.reshape(group_count, block, width + 1)
+    signs = bits[:, :, 0]
+    weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
+    magnitudes = bits[:, :, 1:].astype(np.uint64) @ weights
+    return magnitudes, signs

@@ -1,0 +1,235 @@
+"""ZFP-style transform-based lossy compressor (fixed-precision mode).
+
+ZFP (Lindstrom, TVCG 2014) partitions data into small blocks, aligns each
+block to a common exponent (block-floating-point), applies a fast orthogonal
+decorrelating transform and encodes the transform coefficients bit-plane by
+bit-plane.  Its "fixed precision" mode keeps a fixed number of coefficient
+bits per block, which is the mode the FedSZ paper selects because ZFP offers
+no value-range-relative error bound.
+
+The reproduction keeps the same structure while staying fully vectorised:
+
+* blocks of four samples over the flattened tensor;
+* block-floating-point normalisation against the block's largest exponent;
+* an orthonormal 4-point DCT-II as the decorrelating transform;
+* sign-magnitude coefficient storage truncated to ``precision`` bits
+  (most-significant first), followed by a DEFLATE pass over the packed
+  stream (standing in for ZFP's bit-plane entropy coding).
+
+As in real ZFP's fixed-precision mode, the reconstruction error is *not*
+strictly bounded by a user error bound; the requested relative bound is only
+used to choose the retained precision (``precision ≈ log2(1/rel) + 1``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Tuple
+
+import numpy as np
+
+from repro.compression.base import (
+    ErrorBoundMode,
+    LossyCompressor,
+    pack_array,
+    pack_sections,
+    unpack_array,
+    unpack_sections,
+)
+from repro.compression.errors import CorruptPayloadError, InvalidErrorBoundError
+
+_META_STRUCT = struct.Struct("<IQIII")
+_FORMAT_VERSION = 2
+_BLOCK = 4
+
+#: Orthonormal 4-point DCT-II matrix (rows are basis vectors).
+_DCT_MATRIX = np.array(
+    [
+        [0.5, 0.5, 0.5, 0.5],
+        [0.6532814824381883, 0.27059805007309845, -0.27059805007309845, -0.6532814824381883],
+        [0.5, -0.5, -0.5, 0.5],
+        [0.27059805007309845, -0.6532814824381883, 0.6532814824381883, -0.27059805007309845],
+    ],
+    dtype=np.float64,
+)
+
+
+def precision_for_relative_bound(relative_bound: float) -> int:
+    """Map a relative error bound onto a fixed coefficient precision.
+
+    ``precision = ceil(log2(1 / rel)) + 1`` clamped to [2, 30], mirroring how
+    the paper picks ZFP's fixed-precision mode as "the closest analogous
+    option" to a relative bound.
+    """
+    if relative_bound <= 0 or not np.isfinite(relative_bound):
+        raise InvalidErrorBoundError(
+            f"relative bound must be positive and finite, got {relative_bound}"
+        )
+    precision = int(np.ceil(np.log2(1.0 / relative_bound))) + 1
+    return int(np.clip(precision, 2, 30))
+
+
+class ZFPCompressor(LossyCompressor):
+    """Block transform + fixed-precision coefficient coding (ZFP analogue)."""
+
+    name = "zfp"
+
+    def __init__(self, compression_level: int = 6) -> None:
+        self.compression_level = int(compression_level)
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> bytes:
+        data = self._validate_input(data)
+        original_shape = data.shape
+        original_dtype = data.dtype
+        flat = data.astype(np.float64, copy=False).ravel()
+
+        if mode == ErrorBoundMode.REL:
+            precision = precision_for_relative_bound(error_bound)
+        else:
+            # Absolute bounds are translated against the data range so that a
+            # tighter bound still yields more retained bits.
+            finite_range = float(flat.max() - flat.min()) if flat.size else 1.0
+            relative = error_bound / finite_range if finite_range > 0 else error_bound
+            precision = precision_for_relative_bound(max(relative, 1e-9))
+
+        if flat.size == 0:
+            sections = {
+                "meta": self._pack_meta(flat.size, precision, original_shape, original_dtype, raw=True),
+                "raw": pack_array(data),
+            }
+            return pack_sections(sections)
+
+        padded, num_blocks = _pad_to_blocks(flat, _BLOCK)
+        blocks = padded.reshape(num_blocks, _BLOCK)
+
+        # Block-floating-point: express every value as mantissa * 2^emax where
+        # emax is the block's largest exponent.
+        max_magnitude = np.max(np.abs(blocks), axis=1)
+        emax = np.zeros(num_blocks, dtype=np.int32)
+        nonzero = max_magnitude > 0
+        emax[nonzero] = np.ceil(np.log2(max_magnitude[nonzero])).astype(np.int32)
+        scale = np.ldexp(1.0, -emax).astype(np.float64)
+        normalized = blocks * scale[:, None]  # values in [-1, 1]
+
+        coefficients = normalized @ _DCT_MATRIX.T  # orthonormal, stays within [-2, 2]
+
+        # Sign-magnitude fixed-precision quantization of coefficients.
+        quantization_scale = float(1 << (precision - 1))
+        quantized = np.rint(coefficients * quantization_scale).astype(np.int64)
+        limit = (1 << (precision + 1)) - 1
+        quantized = np.clip(quantized, -limit, limit)
+        signs = (quantized < 0).astype(np.uint8)
+        magnitudes = np.abs(quantized).astype(np.uint64)
+
+        width = precision + 2  # sign-free magnitude can reach 2 * 2^(precision-1)
+        bits = np.zeros((num_blocks, _BLOCK, width + 1), dtype=np.uint8)
+        bits[:, :, 0] = signs
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits[:, :, 1:] = (
+            (magnitudes[:, :, None] >> shifts[None, None, :]) & np.uint64(1)
+        ).astype(np.uint8)
+        coefficient_blob = np.packbits(bits.ravel()).tobytes()
+
+        sections = {
+            "meta": self._pack_meta(flat.size, precision, original_shape, original_dtype, raw=False),
+            "emax": zlib.compress(emax.astype("<i2").tobytes(), self.compression_level),
+            "coef": zlib.compress(coefficient_blob, self.compression_level),
+        }
+        return pack_sections(sections)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        sections = unpack_sections(payload)
+        meta = self._unpack_meta(sections.get("meta"))
+        if meta["raw"]:
+            return unpack_array(sections["raw"])
+
+        size = meta["size"]
+        precision = meta["precision"]
+        num_blocks = -(-size // _BLOCK)
+        width = precision + 2
+
+        emax = np.frombuffer(zlib.decompress(sections["emax"]), dtype="<i2").astype(np.int32)
+        if emax.size != num_blocks:
+            raise CorruptPayloadError("ZFP payload exponent count mismatch")
+
+        coefficient_blob = zlib.decompress(sections["coef"])
+        total_bits = num_blocks * _BLOCK * (width + 1)
+        bits = np.unpackbits(np.frombuffer(coefficient_blob, dtype=np.uint8))[:total_bits]
+        bits = bits.reshape(num_blocks, _BLOCK, width + 1)
+        signs = bits[:, :, 0].astype(bool)
+        weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))
+        magnitudes = (bits[:, :, 1:].astype(np.uint64) @ weights).astype(np.float64)
+        quantized = np.where(signs, -magnitudes, magnitudes)
+
+        quantization_scale = float(1 << (precision - 1))
+        coefficients = quantized / quantization_scale
+        normalized = coefficients @ _DCT_MATRIX  # inverse of an orthonormal transform
+        scale = np.ldexp(1.0, emax).astype(np.float64)
+        blocks = normalized * scale[:, None]
+
+        flat = blocks.ravel()[:size]
+        return flat.astype(meta["dtype"]).reshape(meta["shape"])
+
+    # ------------------------------------------------------------------
+    # Metadata framing
+    # ------------------------------------------------------------------
+    def _pack_meta(
+        self,
+        size: int,
+        precision: int,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        raw: bool,
+    ) -> bytes:
+        dtype_name = np.dtype(dtype).str.encode("ascii")
+        header = _META_STRUCT.pack(_FORMAT_VERSION, size, precision, _BLOCK, 1 if raw else 0)
+        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
+        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
+
+    @staticmethod
+    def _unpack_meta(blob: bytes | None) -> dict:
+        if not blob or len(blob) < _META_STRUCT.size:
+            raise CorruptPayloadError("ZFP payload missing metadata section")
+        version, size, precision, block, raw = _META_STRUCT.unpack_from(blob, 0)
+        if version != _FORMAT_VERSION:
+            raise CorruptPayloadError(f"unsupported ZFP payload version {version}")
+        if block != _BLOCK:
+            raise CorruptPayloadError(f"unexpected ZFP block size {block}")
+        cursor = _META_STRUCT.size
+        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
+        cursor += 2
+        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
+        cursor += dtype_len
+        (ndim,) = struct.unpack_from("<B", blob, cursor)
+        cursor += 1
+        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
+        return {
+            "size": int(size),
+            "precision": int(precision),
+            "raw": bool(raw),
+            "dtype": dtype,
+            "shape": tuple(int(s) for s in shape),
+        }
+
+
+def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
+    """Pad a 1-D array with zeros up to a whole number of blocks."""
+    num_blocks = -(-flat.size // block)
+    padded_size = num_blocks * block
+    if padded_size == flat.size:
+        return flat, num_blocks
+    padded = np.zeros(padded_size, dtype=np.float64)
+    padded[: flat.size] = flat
+    return padded, num_blocks

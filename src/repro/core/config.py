@@ -1,0 +1,48 @@
+"""Configuration for the FedSZ compression pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.compression.base import ErrorBoundMode
+
+#: Relative error bound the paper recommends as the accuracy/ratio sweet spot.
+RECOMMENDED_ERROR_BOUND = 1e-2
+
+#: Minimum flattened size for a tensor to take the lossy path (Algorithm 1's
+#: ``threshold``); small weight tensors are not worth the codec overhead.
+DEFAULT_PARTITION_THRESHOLD = 1024
+
+
+@dataclass(frozen=True)
+class FedSZConfig:
+    """All knobs of the FedSZ pipeline.
+
+    The defaults reproduce the configuration the paper converges on: SZ2 with
+    a relative error bound of 1e-2 for the large weight tensors, blosc-lz for
+    the metadata/non-weight remainder.
+    """
+
+    error_bound: float = RECOMMENDED_ERROR_BOUND
+    error_bound_mode: ErrorBoundMode = ErrorBoundMode.REL
+    lossy_compressor: str = "sz2"
+    lossless_compressor: str = "blosc-lz"
+    partition_threshold: int = DEFAULT_PARTITION_THRESHOLD
+    #: Extra keyword arguments forwarded to the lossy compressor factory.
+    lossy_options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.error_bound <= 0:
+            raise ValueError(f"error_bound must be positive, got {self.error_bound}")
+        if self.partition_threshold < 0:
+            raise ValueError(
+                f"partition_threshold must be non-negative, got {self.partition_threshold}"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        return (
+            f"FedSZ({self.lossy_compressor} @ {self.error_bound:g} {self.error_bound_mode.value}, "
+            f"lossless={self.lossless_compressor}, threshold={self.partition_threshold})"
+        )

@@ -1,0 +1,170 @@
+"""The FedSZ compression / decompression pipeline (Figure 1).
+
+``compress_state_dict`` implements the client-side pipeline:
+
+1. partition the ``state_dict`` into lossy and lossless components
+   (Algorithm 1);
+2. run the error-bounded lossy compressor over each large weight tensor and
+   the lossless codec over the serialized remainder;
+3. assemble a single self-describing bitstream for transmission.
+
+``decompress_state_dict`` implements the server-side inverse: split the
+bitstream, decompress both partitions, reshape every entry back to its tensor
+and return a state dict that can be loaded straight into the global model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.compression.registry import get_lossless_compressor, get_lossy_compressor
+from repro.core.config import FedSZConfig
+from repro.core.partition import partition_state_dict
+from repro.core.serializer import (
+    build_fedsz_payload,
+    deserialize_named_arrays,
+    parse_fedsz_payload,
+    serialize_named_arrays,
+)
+
+
+@dataclass
+class FedSZReport:
+    """Size and runtime accounting for one compression invocation."""
+
+    original_nbytes: int = 0
+    compressed_nbytes: int = 0
+    lossy_original_nbytes: int = 0
+    lossy_compressed_nbytes: int = 0
+    lossless_original_nbytes: int = 0
+    lossless_compressed_nbytes: int = 0
+    lossy_tensor_count: int = 0
+    lossless_tensor_count: int = 0
+    compress_seconds: float = 0.0
+    decompress_seconds: Optional[float] = None
+    per_tensor_ratio: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Overall state-dict compression ratio."""
+        if self.compressed_nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.compressed_nbytes
+
+    @property
+    def lossy_ratio(self) -> float:
+        """Compression ratio of the lossy partition alone."""
+        if self.lossy_compressed_nbytes == 0:
+            return float("inf")
+        return self.lossy_original_nbytes / self.lossy_compressed_nbytes
+
+    @property
+    def lossless_ratio(self) -> float:
+        """Compression ratio of the lossless partition alone."""
+        if self.lossless_compressed_nbytes == 0:
+            return float("inf")
+        return self.lossless_original_nbytes / self.lossless_compressed_nbytes
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation in experiment reports."""
+        return {
+            "ratio": self.ratio,
+            "lossy_ratio": self.lossy_ratio,
+            "lossless_ratio": self.lossless_ratio,
+            "original_mb": self.original_nbytes / 1e6,
+            "compressed_mb": self.compressed_nbytes / 1e6,
+            "compress_seconds": self.compress_seconds,
+            "lossy_tensors": self.lossy_tensor_count,
+            "lossless_tensors": self.lossless_tensor_count,
+        }
+
+
+def compress_state_dict(
+    state_dict: Mapping[str, np.ndarray],
+    config: Optional[FedSZConfig] = None,
+) -> Tuple[bytes, FedSZReport]:
+    """Compress a model state dict into a FedSZ bitstream.
+
+    Returns the payload plus a :class:`FedSZReport` describing what happened.
+    """
+    config = config or FedSZConfig()
+    start = time.perf_counter()
+
+    partition = partition_state_dict(state_dict, config.partition_threshold)
+    lossy_codec = get_lossy_compressor(config.lossy_compressor)
+    for option, value in config.lossy_options.items():
+        setattr(lossy_codec, option, value)
+    lossless_codec = get_lossless_compressor(config.lossless_compressor)
+
+    report = FedSZReport(
+        original_nbytes=partition.total_nbytes,
+        lossy_original_nbytes=partition.lossy_nbytes,
+        lossless_original_nbytes=partition.lossless_nbytes,
+        lossy_tensor_count=len(partition.lossy),
+        lossless_tensor_count=len(partition.lossless),
+    )
+
+    lossy_payloads: Dict[str, bytes] = {}
+    lossy_shapes: Dict[str, list] = {}
+    lossy_dtypes: Dict[str, str] = {}
+    for name, tensor in partition.lossy.items():
+        flat = np.ascontiguousarray(tensor).ravel()
+        payload = lossy_codec.compress(flat, config.error_bound, config.error_bound_mode)
+        lossy_payloads[name] = payload
+        lossy_shapes[name] = list(tensor.shape)
+        lossy_dtypes[name] = np.dtype(tensor.dtype).str
+        report.per_tensor_ratio[name] = tensor.nbytes / max(len(payload), 1)
+
+    lossless_blob = lossless_codec.compress(serialize_named_arrays(partition.lossless))
+
+    header = {
+        "lossy_compressor": config.lossy_compressor,
+        "lossless_compressor": config.lossless_compressor,
+        "error_bound": config.error_bound,
+        "error_bound_mode": config.error_bound_mode.value,
+        "partition_threshold": config.partition_threshold,
+        "lossy_shapes": lossy_shapes,
+        "lossy_dtypes": lossy_dtypes,
+    }
+    payload = build_fedsz_payload(header, lossy_payloads, lossless_blob)
+
+    report.lossy_compressed_nbytes = sum(len(blob) for blob in lossy_payloads.values())
+    report.lossless_compressed_nbytes = len(lossless_blob)
+    report.compressed_nbytes = len(payload)
+    report.compress_seconds = time.perf_counter() - start
+    return payload, report
+
+
+def decompress_state_dict(payload: bytes) -> Dict[str, np.ndarray]:
+    """Reconstruct a state dict from a FedSZ bitstream."""
+    header, lossy_payloads, lossless_blob = parse_fedsz_payload(payload)
+    lossy_codec = get_lossy_compressor(header["lossy_compressor"])
+    lossless_codec = get_lossless_compressor(header["lossless_compressor"])
+
+    state: Dict[str, np.ndarray] = {}
+    shapes = header.get("lossy_shapes", {})
+    dtypes = header.get("lossy_dtypes", {})
+    for name, blob in lossy_payloads.items():
+        flat = lossy_codec.decompress(blob)
+        shape = tuple(shapes.get(name, flat.shape))
+        dtype = np.dtype(dtypes.get(name, flat.dtype.str))
+        state[name] = flat.astype(dtype).reshape(shape)
+
+    state.update(deserialize_named_arrays(lossless_codec.decompress(lossless_blob)))
+    return state
+
+
+def roundtrip_state_dict(
+    state_dict: Mapping[str, np.ndarray],
+    config: Optional[FedSZConfig] = None,
+) -> Tuple[Dict[str, np.ndarray], FedSZReport]:
+    """Compress then decompress, reporting sizes and both runtimes."""
+    payload, report = compress_state_dict(state_dict, config)
+    start = time.perf_counter()
+    restored = decompress_state_dict(payload)
+    report.decompress_seconds = time.perf_counter() - start
+    return restored, report

@@ -1,0 +1,85 @@
+"""Serialization of named tensor collections and the FedSZ bitstream layout.
+
+The reference implementation pickles the compressed dictionary before the
+final lossless pass; pickle is unsafe to load from untrusted peers, so this
+reproduction uses an explicit, self-describing binary framing built on the
+same section format as the compressor payloads:
+
+``FedSZ payload``
+    ├── ``header``   — pipeline configuration + format version
+    ├── ``lossy``    — one section per lossy tensor, each holding the raw
+    │                  EBLC payload for that tensor
+    └── ``lossless`` — the lossless-compressed serialization of every
+                       remaining tensor (metadata, biases, running stats)
+
+Both directions are pure functions of the byte string — no code execution on
+load, unlike pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.compression.base import pack_array, pack_sections, unpack_array, unpack_sections
+from repro.compression.errors import CorruptPayloadError
+
+_FORMAT_VERSION = 1
+_HEADER_KEY = "header"
+_LOSSY_KEY = "lossy"
+_LOSSLESS_KEY = "lossless"
+
+
+def serialize_named_arrays(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize a name→array mapping preserving order, dtypes and shapes."""
+    return pack_sections({name: pack_array(np.asarray(value)) for name, value in arrays.items()})
+
+
+def deserialize_named_arrays(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_named_arrays`."""
+    return {name: unpack_array(blob) for name, blob in unpack_sections(payload).items()}
+
+
+def build_fedsz_payload(
+    header: Dict[str, object],
+    lossy_payloads: Mapping[str, bytes],
+    lossless_blob: bytes,
+) -> bytes:
+    """Assemble the final FedSZ bitstream."""
+    header = dict(header)
+    header["format_version"] = _FORMAT_VERSION
+    header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    sections = {
+        _HEADER_KEY: struct.pack("<I", len(header_blob)) + header_blob,
+        _LOSSY_KEY: pack_sections(dict(lossy_payloads)),
+        _LOSSLESS_KEY: lossless_blob,
+    }
+    return pack_sections(sections)
+
+
+def parse_fedsz_payload(payload: bytes) -> Tuple[Dict[str, object], Dict[str, bytes], bytes]:
+    """Split a FedSZ bitstream back into header, lossy payloads and lossless blob."""
+    sections = unpack_sections(payload)
+    for key in (_HEADER_KEY, _LOSSY_KEY, _LOSSLESS_KEY):
+        if key not in sections:
+            raise CorruptPayloadError(f"FedSZ payload missing section {key!r}")
+    header_section = sections[_HEADER_KEY]
+    if len(header_section) < 4:
+        raise CorruptPayloadError("FedSZ header section truncated")
+    (header_length,) = struct.unpack_from("<I", header_section, 0)
+    header_blob = header_section[4 : 4 + header_length]
+    if len(header_blob) != header_length:
+        raise CorruptPayloadError("FedSZ header length mismatch")
+    try:
+        header = json.loads(header_blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CorruptPayloadError(f"FedSZ header is not valid JSON: {error}") from error
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise CorruptPayloadError(
+            f"unsupported FedSZ payload version {header.get('format_version')!r}"
+        )
+    lossy_payloads = unpack_sections(sections[_LOSSY_KEY])
+    return header, lossy_payloads, sections[_LOSSLESS_KEY]

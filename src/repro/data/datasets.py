@@ -1,0 +1,199 @@
+"""Synthetic image-classification datasets.
+
+The paper evaluates on CIFAR-10, Fashion-MNIST and Caltech101 (Table IV).
+Those datasets cannot be downloaded in this offline environment, so the
+module provides deterministic synthetic stand-ins that preserve the
+properties the experiments rely on:
+
+* identical input dimensions and class counts (32×32×3 / 10, 28×28×1 / 10,
+  224×224×3 / 101 — the Caltech substitute is also offered at a reduced
+  resolution for the trainable tiny models);
+* class structure that a convolutional network genuinely has to learn
+  (class-conditional Gaussian prototypes with localised spatial structure and
+  per-sample noise), so that accuracy is a meaningful, monotone casualty of
+  weight corruption;
+* per-client heterogeneity hooks via the partitioning utilities.
+
+Every dataset is generated from an explicit seed, making federated runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a dataset (the columns of Table IV)."""
+
+    name: str
+    num_samples: int
+    input_shape: Tuple[int, int, int]  # (channels, height, width)
+    num_classes: int
+
+    @property
+    def input_dimension(self) -> str:
+        """Human-readable spatial dimension, e.g. ``"32 x 32"``."""
+        return f"{self.input_shape[1]} x {self.input_shape[2]}"
+
+    def as_row(self) -> Dict[str, object]:
+        """Row representation matching Table IV."""
+        return {
+            "dataset": self.name,
+            "samples": self.num_samples,
+            "input_dimension": self.input_dimension,
+            "classes": self.num_classes,
+        }
+
+
+#: Paper-scale dataset characteristics (Table IV).
+PAPER_DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "cifar10": DatasetSpec("CIFAR-10", 60_000, (3, 32, 32), 10),
+    "fashion-mnist": DatasetSpec("Fashion-MNIST", 70_000, (1, 28, 28), 10),
+    "caltech101": DatasetSpec("Caltech101", 9_000, (3, 224, 224), 101),
+}
+
+#: Datasets evaluated in the paper, in Table V column order.
+PAPER_DATASETS = ("cifar10", "caltech101", "fashion-mnist")
+
+
+class SyntheticImageDataset:
+    """In-memory labelled image dataset with class-prototype structure."""
+
+    def __init__(
+        self,
+        name: str,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_classes: int,
+    ) -> None:
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images and labels disagree on sample count: {images.shape[0]} vs {labels.shape[0]}"
+            )
+        self.name = name
+        self.images = images.astype(np.float32)
+        self.labels = labels.astype(np.int64)
+        self.num_classes = int(num_classes)
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """(channels, height, width) of one sample."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray) -> "SyntheticImageDataset":
+        """A view-like dataset restricted to ``indices`` (copies the data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return SyntheticImageDataset(
+            self.name, self.images[indices], self.labels[indices], self.num_classes
+        )
+
+    def split(self, train_fraction: float, seed: int = 0) -> Tuple["SyntheticImageDataset", "SyntheticImageDataset"]:
+        """Random train/validation split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+
+def _generate_class_prototypes(
+    rng: np.random.Generator,
+    num_classes: int,
+    input_shape: Tuple[int, int, int],
+    prototype_scale: float,
+) -> np.ndarray:
+    """Smooth per-class prototype images with localised structure.
+
+    Prototypes are low-frequency random fields (random coefficients on a small
+    set of 2-D cosine bases), which gives each class a distinct spatial
+    signature a convolution can pick up.
+    """
+    channels, height, width = input_shape
+    y = np.linspace(0, np.pi, height)[:, None]
+    x = np.linspace(0, np.pi, width)[None, :]
+    bases = []
+    for fy in range(3):
+        for fx in range(3):
+            bases.append(np.cos(fy * y) * np.cos(fx * x))
+    bases = np.stack(bases)  # (9, H, W)
+    coefficients = rng.normal(0.0, prototype_scale, size=(num_classes, channels, bases.shape[0]))
+    prototypes = np.einsum("kcb,bhw->kchw", coefficients, bases)
+    return prototypes.astype(np.float32)
+
+
+def make_synthetic_dataset(
+    name: str,
+    num_samples: int,
+    input_shape: Tuple[int, int, int],
+    num_classes: int,
+    noise_scale: float = 0.6,
+    prototype_scale: float = 1.0,
+    seed: int = 0,
+) -> SyntheticImageDataset:
+    """Build a synthetic dataset with class-conditional Gaussian structure."""
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    if num_classes < 2:
+        raise ValueError(f"num_classes must be at least 2, got {num_classes}")
+    rng = np.random.default_rng(seed)
+    prototypes = _generate_class_prototypes(rng, num_classes, input_shape, prototype_scale)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    noise = rng.normal(0.0, noise_scale, size=(num_samples, *input_shape)).astype(np.float32)
+    images = prototypes[labels] + noise
+    return SyntheticImageDataset(name, images, labels, num_classes)
+
+
+def load_dataset(
+    name: str,
+    num_samples: int = 2_000,
+    image_size: int | None = None,
+    noise_scale: float = 0.6,
+    prototype_scale: float = 1.0,
+    seed: int = 0,
+) -> SyntheticImageDataset:
+    """Load a synthetic stand-in for one of the paper's datasets.
+
+    ``image_size`` optionally overrides the spatial resolution (the federated
+    training experiments use 16×16 so the pure-numpy models stay fast); the
+    channel count and class count always follow the real dataset.
+    ``noise_scale`` and ``prototype_scale`` control task difficulty — a lower
+    prototype scale shrinks the class margins so that accuracy is a sensitive
+    function of weight perturbation, which the accuracy-versus-error-bound
+    experiments rely on.
+    """
+    key = name.lower().replace("_", "-")
+    if key not in PAPER_DATASET_SPECS:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(PAPER_DATASET_SPECS)}")
+    spec = PAPER_DATASET_SPECS[key]
+    channels, height, width = spec.input_shape
+    if image_size is not None:
+        height = width = int(image_size)
+    return make_synthetic_dataset(
+        name=spec.name,
+        num_samples=num_samples,
+        input_shape=(channels, height, width),
+        num_classes=spec.num_classes,
+        noise_scale=noise_scale,
+        prototype_scale=prototype_scale,
+        seed=seed,
+    )
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the paper-scale :class:`DatasetSpec` for ``name``."""
+    key = name.lower().replace("_", "-")
+    if key not in PAPER_DATASET_SPECS:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(PAPER_DATASET_SPECS)}")
+    return PAPER_DATASET_SPECS[key]

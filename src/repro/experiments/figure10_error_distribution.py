@@ -1,0 +1,71 @@
+"""Figure 10 — distribution of FedSZ compression errors at large bounds.
+
+The paper plots histograms of the element-wise error introduced by the lossy
+stage at REL bounds 0.5, 0.1 and 0.05 and observes a Laplace-like shape,
+motivating the differential-privacy discussion of Section VII-D.  The harness
+reproduces the histograms, fits a Laplace distribution to each error
+population, compares the fit quality against a Gaussian, and reports the
+equivalent Laplace-mechanism ε for a unit-sensitivity query.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.workloads import model_weight_sample
+from repro.privacy import analyze_array_errors, equivalent_epsilon
+
+DEFAULT_BOUNDS = (0.5, 0.1, 0.05)
+
+
+def run_figure10(
+    model: str = "alexnet",
+    error_bounds: Sequence[float] = DEFAULT_BOUNDS,
+    compressor: str = "sz2",
+    num_values: int = 300_000,
+    sensitivity: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Figure 10 (error distributions and their Laplace fits)."""
+    result = ExperimentResult(
+        name=f"Figure 10 — compression-error distributions ({model}, {compressor})",
+        description=(
+            "Laplace fit of the element-wise compression error at large REL bounds, with "
+            "Kolmogorov-Smirnov distances against Laplace and normal hypotheses."
+        ),
+    )
+    weights = model_weight_sample(model, num_values=num_values, seed=seed)
+    distributions = analyze_array_errors(weights, sorted(error_bounds, reverse=True), compressor)
+
+    for distribution in distributions:
+        privacy = equivalent_epsilon(distribution.errors, sensitivity=sensitivity)
+        result.add_row(
+            error_bound=distribution.error_bound,
+            laplace_scale=distribution.fit.scale,
+            ks_laplace=distribution.fit.ks_statistic,
+            ks_normal=distribution.fit.ks_statistic_normal,
+            laplace_preferred=distribution.fit.closer_to_laplace_than_normal,
+            max_abs_error=distribution.max_abs_error,
+            equivalent_epsilon=privacy.epsilon,
+        )
+
+    preferred = [row for row in result.rows if row["laplace_preferred"]]
+    result.add_note(
+        f"Laplace fits better than Gaussian for {len(preferred)}/{len(result.rows)} bounds; "
+        "the error support (max |error|) shrinks with the bound, matching the x-axis "
+        "ranges of the paper's three panels."
+    )
+    result.add_note(
+        "Equivalent epsilon assumes a unit-sensitivity query; as in the paper this is an "
+        "observation, not a formal DP guarantee."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_figure10(num_values=100_000).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

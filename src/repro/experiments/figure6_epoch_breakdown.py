@@ -1,0 +1,75 @@
+"""Figure 6 — client runtime-per-epoch breakdown including FedSZ compression.
+
+The paper decomposes each client's epoch wall-clock into local training,
+validation and FedSZ compression, and reports that compression adds < 12.5 %
+(4.7 % on average) of the epoch time.  The harness reruns the federated
+simulation with FedSZ enabled and reports the measured decomposition per
+model / dataset combination.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core import FedSZCompressor
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.workloads import build_federated_setup
+from repro.fl import FLSimulation
+
+DEFAULT_COMBINATIONS: Tuple[Tuple[str, str], ...] = (
+    ("resnet50", "cifar10"),
+    ("mobilenetv2", "cifar10"),
+    ("alexnet", "cifar10"),
+)
+
+
+def run_figure6(
+    combinations: Sequence[Tuple[str, str]] = DEFAULT_COMBINATIONS,
+    rounds: int = 2,
+    samples: int = 400,
+    error_bound: float = 1e-2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Figure 6's per-epoch breakdown (training / validation / compression)."""
+    result = ExperimentResult(
+        name="Figure 6 — client runtime per epoch breakdown with FedSZ",
+        description="Mean per-round training, validation and compression time per model/dataset.",
+    )
+    for model, dataset in combinations:
+        setup = build_federated_setup(
+            model_name=model, dataset_name=dataset, rounds=rounds, samples=samples, seed=seed
+        )
+        simulation = FLSimulation(
+            setup.model_fn,
+            setup.train_dataset,
+            setup.validation_dataset,
+            setup.config,
+            codec=FedSZCompressor(error_bound=error_bound),
+        )
+        history = simulation.run()
+        breakdown = history.mean_epoch_breakdown()
+        result.add_row(
+            model=model,
+            dataset=dataset,
+            client_training_seconds=breakdown.client_training_seconds,
+            validation_seconds=breakdown.validation_seconds,
+            compression_seconds=breakdown.compression_seconds,
+            total_seconds=breakdown.total_seconds,
+            compression_overhead_percent=100.0 * breakdown.compression_overhead_fraction,
+        )
+
+    overheads = [row["compression_overhead_percent"] for row in result.rows]
+    if overheads:
+        result.add_note(
+            f"compression overhead: mean {sum(overheads) / len(overheads):.1f}% of epoch time "
+            "(paper: 4.7% average, <12.5% in all but one case)"
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_figure6(rounds=1, samples=200).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

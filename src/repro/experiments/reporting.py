@@ -1,0 +1,94 @@
+"""Result containers and plain-text table rendering for experiments.
+
+Every experiment harness returns an :class:`ExperimentResult`: a named list
+of row dictionaries plus free-form notes.  ``render_table`` pretty-prints the
+rows so the example scripts and the EXPERIMENTS.md generation read the same
+artefacts the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus metadata produced by one experiment harness."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation."""
+        self.notes.append(note)
+
+    def column(self, key: str) -> List[object]:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria: object) -> List[Dict[str, object]]:
+        """Rows matching every ``column=value`` criterion."""
+        matches = []
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                matches.append(row)
+        return matches
+
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Render the result as a titled plain-text table."""
+        lines = [f"# {self.name}", self.description, ""]
+        lines.append(render_table(self.rows, float_format=float_format))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return float_format.format(value)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Iterable[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+    rendered = [
+        {column: _format_value(row.get(column, ""), float_format) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered)) for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(row[column].ljust(widths[column]) for column in columns) for row in rendered
+    ]
+    return "\n".join([header, separator, *body])

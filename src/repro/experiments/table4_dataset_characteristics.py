@@ -1,0 +1,56 @@
+"""Table IV — dataset characteristics used for FedSZ benchmarking.
+
+The reproduction replaces the real datasets with synthetic stand-ins (see
+DESIGN.md); this harness documents that the stand-ins preserve the columns
+the paper reports — sample counts, input dimensions and class counts — and
+records the synthetic-generation parameters actually used by the federated
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data import PAPER_DATASETS, dataset_spec, load_dataset
+from repro.experiments.reporting import ExperimentResult
+
+
+def run_table4(
+    datasets: Sequence[str] = PAPER_DATASETS,
+    synthetic_samples: int = 512,
+    synthetic_image_size: int = 16,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table IV, annotated with the synthetic stand-in actually used."""
+    result = ExperimentResult(
+        name="Table IV — dataset characteristics",
+        description=(
+            "Paper-scale dataset specs alongside the synthetic stand-ins used for "
+            "the trainable experiments in this offline reproduction."
+        ),
+    )
+    for name in datasets:
+        spec = dataset_spec(name)
+        synthetic = load_dataset(name, num_samples=synthetic_samples, image_size=synthetic_image_size, seed=seed)
+        result.add_row(
+            dataset=spec.name,
+            samples=spec.num_samples,
+            input_dimension=spec.input_dimension,
+            classes=spec.num_classes,
+            synthetic_samples=len(synthetic),
+            synthetic_dimension=f"{synthetic.input_shape[1]} x {synthetic.input_shape[2]}",
+            synthetic_channels=synthetic.input_shape[0],
+        )
+    result.add_note(
+        "Real CIFAR-10 / Fashion-MNIST / Caltech101 downloads are unavailable offline; "
+        "class counts and channel counts are preserved by the synthetic stand-ins."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_table4().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

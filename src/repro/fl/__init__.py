@@ -1,0 +1,29 @@
+"""Federated-learning runtime (the APPFL/FedAvg stand-in).
+
+Clients run local SGD on private synthetic data, the server aggregates with
+FedAvg and validates the global model, and the simulation loop routes every
+client update through a pluggable codec (FedSZ or the uncompressed baseline)
+and a bandwidth-limited simulated channel.
+"""
+
+from repro.fl.aggregation import fedavg, state_dict_difference
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.config import FLConfig
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.server import EvaluationResult, FLServer
+from repro.fl.simulation import FLSimulation, UpdateCodec, run_federated_training
+
+__all__ = [
+    "fedavg",
+    "state_dict_difference",
+    "ClientUpdate",
+    "FLClient",
+    "FLConfig",
+    "RoundRecord",
+    "TrainingHistory",
+    "EvaluationResult",
+    "FLServer",
+    "FLSimulation",
+    "UpdateCodec",
+    "run_federated_training",
+]

@@ -1,0 +1,72 @@
+"""Model aggregation rules.
+
+Federated Averaging (McMahan et al., 2017) is the aggregation rule used
+throughout the paper: the server averages client state dicts weighted by
+their local sample counts.  Buffers with integer dtypes (e.g. BatchNorm's
+``num_batches_tracked``) are averaged and cast back, which matches what
+PyTorch-based FL frameworks do in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def fedavg(
+    client_states: Sequence[Mapping[str, np.ndarray]],
+    client_weights: Optional[Sequence[float]] = None,
+) -> Dict[str, np.ndarray]:
+    """Weighted average of client state dicts.
+
+    Parameters
+    ----------
+    client_states:
+        One state dict per participating client.  All must share exactly the
+        same keys and shapes.
+    client_weights:
+        Aggregation weights, typically local dataset sizes.  Uniform when
+        omitted.  They are normalised internally.
+    """
+    if not client_states:
+        raise ValueError("fedavg requires at least one client state dict")
+    if client_weights is None:
+        client_weights = [1.0] * len(client_states)
+    if len(client_weights) != len(client_states):
+        raise ValueError(
+            f"got {len(client_states)} state dicts but {len(client_weights)} weights"
+        )
+    weights = np.asarray(client_weights, dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("aggregation weights must be non-negative and not all zero")
+    weights = weights / weights.sum()
+
+    reference_keys = list(client_states[0].keys())
+    for index, state in enumerate(client_states[1:], start=1):
+        if list(state.keys()) != reference_keys:
+            raise KeyError(f"client state dict #{index} keys differ from client #0")
+
+    aggregated: Dict[str, np.ndarray] = {}
+    for key in reference_keys:
+        reference = np.asarray(client_states[0][key])
+        stacked = np.stack(
+            [np.asarray(state[key], dtype=np.float64) for state in client_states], axis=0
+        )
+        averaged = np.tensordot(weights, stacked, axes=1)
+        if np.issubdtype(reference.dtype, np.integer):
+            aggregated[key] = np.rint(averaged).astype(reference.dtype)
+        else:
+            aggregated[key] = averaged.astype(reference.dtype)
+    return aggregated
+
+
+def state_dict_difference(
+    new_state: Mapping[str, np.ndarray], old_state: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Per-tensor difference ``new - old`` (useful for update-style protocols)."""
+    return {
+        key: np.asarray(new_state[key], dtype=np.float64) - np.asarray(old_state[key], dtype=np.float64)
+        for key in new_state
+        if key in old_state and np.issubdtype(np.asarray(new_state[key]).dtype, np.floating)
+    }

@@ -1,0 +1,117 @@
+"""Federated client: local SGD on private data."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+import numpy as np
+
+from repro.data.datasets import SyntheticImageDataset
+from repro.data.loader import DataLoader
+from repro.fl.config import FLConfig
+from repro.nn import functional as F
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+
+@dataclass
+class ClientUpdate:
+    """What a client sends back to the server after local training."""
+
+    client_id: int
+    state_dict: Dict[str, np.ndarray]
+    num_samples: int
+    train_loss: float
+    train_accuracy: float
+    train_seconds: float
+
+
+class FLClient:
+    """One federated participant with a private dataset and a local model."""
+
+    def __init__(
+        self,
+        client_id: int,
+        model_fn: Callable[[], Module],
+        dataset: SyntheticImageDataset,
+        config: FLConfig,
+        seed: int = 0,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} received an empty dataset")
+        self.client_id = int(client_id)
+        self.dataset = dataset
+        self.config = config
+        self.model = model_fn()
+        self.loader = DataLoader(
+            dataset,
+            batch_size=config.batch_size,
+            shuffle=True,
+            seed=seed,
+        )
+        self._loss = CrossEntropyLoss()
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples (the FedAvg weight)."""
+        return len(self.dataset)
+
+    def train(
+        self,
+        global_state: Mapping[str, np.ndarray],
+        learning_rate: float | None = None,
+    ) -> ClientUpdate:
+        """Run the configured number of local epochs starting from ``global_state``.
+
+        ``learning_rate`` overrides the configured rate for this round (used by
+        the per-round decay schedule).
+        """
+        start = time.perf_counter()
+        self.model.load_state_dict(dict(global_state))
+        self.model.train()
+        optimizer = SGD(
+            self.model.parameters(),
+            lr=learning_rate if learning_rate is not None else self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+        total_loss = 0.0
+        total_correct = 0.0
+        total_seen = 0
+        for _ in range(self.config.local_epochs):
+            for images, labels in self.loader:
+                optimizer.zero_grad()
+                logits = self.model(images)
+                loss = self._loss(logits, labels)
+                self.model.backward(self._loss.backward())
+                optimizer.step()
+                batch = labels.shape[0]
+                total_loss += loss * batch
+                total_correct += F.accuracy(logits, labels) * batch
+                total_seen += batch
+
+        elapsed = time.perf_counter() - start
+        return ClientUpdate(
+            client_id=self.client_id,
+            state_dict=self.model.state_dict(),
+            num_samples=self.num_samples,
+            train_loss=total_loss / max(total_seen, 1),
+            train_accuracy=total_correct / max(total_seen, 1),
+            train_seconds=elapsed,
+        )
+
+    def evaluate(self, state_dict: Mapping[str, np.ndarray]) -> Dict[str, float]:
+        """Evaluate a state dict on this client's local data (no training)."""
+        self.model.load_state_dict(dict(state_dict))
+        self.model.eval()
+        logits = self.model(self.dataset.images)
+        loss = self._loss(logits, self.dataset.labels)
+        return {
+            "loss": loss,
+            "accuracy": F.accuracy(logits, self.dataset.labels),
+            "num_samples": float(len(self.dataset)),
+        }

@@ -1,0 +1,58 @@
+"""Federated-learning run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyper-parameters of one federated simulation.
+
+    The defaults mirror the paper's protocol: FedAvg, four clients, one local
+    epoch per communication round, and a 10 Mbps emulated uplink.
+    """
+
+    num_clients: int = 4
+    rounds: int = 10
+    local_epochs: int = 1
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    partition_strategy: str = "iid"
+    dirichlet_alpha: float = 0.5
+    bandwidth_mbps: float = 10.0
+    compress_downlink: bool = False
+    #: Fraction of clients sampled to participate in each round (FedAvg's C).
+    client_fraction: float = 1.0
+    #: Multiplicative learning-rate decay applied after every round.
+    learning_rate_decay: float = 1.0
+    eval_batch_size: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError(f"num_clients must be positive, got {self.num_clients}")
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        if self.local_epochs <= 0:
+            raise ValueError(f"local_epochs must be positive, got {self.local_epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.partition_strategy not in {"iid", "dirichlet"}:
+            raise ValueError(
+                f"partition_strategy must be 'iid' or 'dirichlet', got {self.partition_strategy!r}"
+            )
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError(
+                f"client_fraction must lie in (0, 1], got {self.client_fraction}"
+            )
+        if not 0.0 < self.learning_rate_decay <= 1.0:
+            raise ValueError(
+                f"learning_rate_decay must lie in (0, 1], got {self.learning_rate_decay}"
+            )

@@ -1,0 +1,106 @@
+"""Round-by-round records of a federated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.network.timing import EpochTimeBreakdown
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured during one communication round."""
+
+    round_index: int
+    global_accuracy: float
+    global_loss: float
+    mean_client_loss: float
+    mean_client_accuracy: float
+    uplink_bytes: int
+    uplink_seconds: float
+    compression_seconds: float
+    decompression_seconds: float
+    train_seconds: float
+    validation_seconds: float
+    mean_compression_ratio: float
+    downlink_bytes: int = 0
+    downlink_seconds: float = 0.0
+    participating_clients: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation."""
+        return {
+            "round": self.round_index,
+            "accuracy": self.global_accuracy,
+            "loss": self.global_loss,
+            "client_loss": self.mean_client_loss,
+            "uplink_mb": self.uplink_bytes / 1e6,
+            "uplink_seconds": self.uplink_seconds,
+            "compression_seconds": self.compression_seconds,
+            "train_seconds": self.train_seconds,
+            "ratio": self.mean_compression_ratio,
+        }
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated round records plus run-level summaries."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def add(self, record: RoundRecord) -> None:
+        """Append a round record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def accuracies(self) -> List[float]:
+        """Global validation accuracy per round."""
+        return [record.global_accuracy for record in self.records]
+
+    @property
+    def final_accuracy(self) -> float:
+        """Validation accuracy after the last round (0.0 before any round)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].global_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best validation accuracy across rounds."""
+        if not self.records:
+            return 0.0
+        return max(record.global_accuracy for record in self.records)
+
+    @property
+    def total_uplink_bytes(self) -> int:
+        """Total bytes shipped from clients to the server over the run."""
+        return sum(record.uplink_bytes for record in self.records)
+
+    @property
+    def total_uplink_seconds(self) -> float:
+        """Total simulated uplink time over the run."""
+        return sum(record.uplink_seconds for record in self.records)
+
+    @property
+    def total_compression_seconds(self) -> float:
+        """Total time spent compressing client updates over the run."""
+        return sum(record.compression_seconds for record in self.records)
+
+    def mean_epoch_breakdown(self) -> EpochTimeBreakdown:
+        """Average per-round client time decomposition (Figure 6)."""
+        if not self.records:
+            return EpochTimeBreakdown()
+        count = len(self.records)
+        return EpochTimeBreakdown(
+            client_training_seconds=sum(r.train_seconds for r in self.records) / count,
+            validation_seconds=sum(r.validation_seconds for r in self.records) / count,
+            compression_seconds=sum(r.compression_seconds for r in self.records) / count,
+            communication_seconds=sum(r.uplink_seconds for r in self.records) / count,
+        )
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Round records as flat dictionaries."""
+        return [record.as_row() for record in self.records]

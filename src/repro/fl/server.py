@@ -1,0 +1,83 @@
+"""Federated server: global model, aggregation and validation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import SyntheticImageDataset
+from repro.fl.aggregation import fedavg
+from repro.nn import functional as F
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+
+
+@dataclass
+class EvaluationResult:
+    """Global-model validation metrics."""
+
+    loss: float
+    accuracy: float
+    num_samples: int
+    seconds: float
+
+
+class FLServer:
+    """Holds the global model, aggregates client updates, validates."""
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        validation_dataset: Optional[SyntheticImageDataset] = None,
+        eval_batch_size: int = 128,
+    ) -> None:
+        self.model = model_fn()
+        self.validation_dataset = validation_dataset
+        self.eval_batch_size = int(eval_batch_size)
+        self._loss = CrossEntropyLoss()
+
+    def global_state(self) -> Dict[str, np.ndarray]:
+        """Snapshot of the current global model."""
+        return self.model.state_dict()
+
+    def set_global_state(self, state_dict: Mapping[str, np.ndarray]) -> None:
+        """Overwrite the global model (e.g. with an aggregated state)."""
+        self.model.load_state_dict(dict(state_dict))
+
+    def aggregate(
+        self,
+        client_states: Sequence[Mapping[str, np.ndarray]],
+        client_weights: Optional[Sequence[float]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """FedAvg the client states and install the result as the new global model."""
+        aggregated = fedavg(client_states, client_weights)
+        self.set_global_state(aggregated)
+        return aggregated
+
+    def evaluate(self, dataset: Optional[SyntheticImageDataset] = None) -> EvaluationResult:
+        """Evaluate the global model on the validation (or a supplied) dataset."""
+        dataset = dataset or self.validation_dataset
+        if dataset is None:
+            raise ValueError("no validation dataset available for evaluation")
+        start = time.perf_counter()
+        self.model.eval()
+        losses: List[float] = []
+        accuracies: List[float] = []
+        counts: List[int] = []
+        for start_index in range(0, len(dataset), self.eval_batch_size):
+            images = dataset.images[start_index : start_index + self.eval_batch_size]
+            labels = dataset.labels[start_index : start_index + self.eval_batch_size]
+            logits = self.model(images)
+            losses.append(self._loss(logits, labels) * labels.shape[0])
+            accuracies.append(F.accuracy(logits, labels) * labels.shape[0])
+            counts.append(labels.shape[0])
+        total = sum(counts)
+        return EvaluationResult(
+            loss=sum(losses) / max(total, 1),
+            accuracy=sum(accuracies) / max(total, 1),
+            num_samples=total,
+            seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,67 @@
+"""Network, device and timing models.
+
+Implements the communication side of the evaluation: bandwidth-limited
+channels (the paper's MPI + sleep emulation), the Raspberry Pi 5 device
+profile used for codec runtimes, the Eqn.-1 "is compression worthwhile"
+decision, per-epoch timing breakdowns and the weak/strong scaling simulator.
+"""
+
+from repro.network.bandwidth import (
+    DATACENTER_BANDWIDTH_MBPS,
+    EDGE_BANDWIDTH_MBPS,
+    BandwidthModel,
+    SimulatedChannel,
+    TransferRecord,
+)
+from repro.network.decision import (
+    CompressionDecision,
+    crossover_bandwidth_mbps,
+    should_compress,
+)
+from repro.network.devices import (
+    RASPBERRY_PI_5,
+    RASPBERRY_PI_5_LOSSLESS_THROUGHPUT_MBPS,
+    RASPBERRY_PI_5_THROUGHPUT_MBPS,
+    DeviceProfile,
+    get_device_profile,
+)
+from repro.network.scaling import (
+    ScalingConfig,
+    ScalingPoint,
+    speedup_curve,
+    strong_scaling,
+    weak_scaling,
+    weak_scaling_efficiency,
+)
+from repro.network.timing import (
+    CommunicationEstimate,
+    EpochTimeBreakdown,
+    TimingAccumulator,
+    estimate_communication,
+)
+
+__all__ = [
+    "DATACENTER_BANDWIDTH_MBPS",
+    "EDGE_BANDWIDTH_MBPS",
+    "BandwidthModel",
+    "SimulatedChannel",
+    "TransferRecord",
+    "CompressionDecision",
+    "crossover_bandwidth_mbps",
+    "should_compress",
+    "RASPBERRY_PI_5",
+    "RASPBERRY_PI_5_LOSSLESS_THROUGHPUT_MBPS",
+    "RASPBERRY_PI_5_THROUGHPUT_MBPS",
+    "DeviceProfile",
+    "get_device_profile",
+    "ScalingConfig",
+    "ScalingPoint",
+    "speedup_curve",
+    "strong_scaling",
+    "weak_scaling",
+    "weak_scaling_efficiency",
+    "CommunicationEstimate",
+    "EpochTimeBreakdown",
+    "TimingAccumulator",
+    "estimate_communication",
+]

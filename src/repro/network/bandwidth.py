@@ -1,0 +1,95 @@
+"""Bandwidth model and simulated client→server channel.
+
+The paper emulates constrained networks by measuring the real MPI
+process-to-process bandwidth and inserting sleeps sized so that each transfer
+takes as long as it would on the target link (Section VI-C).  The simulator
+here does the same thing analytically: every transfer is billed
+``latency + bytes / bandwidth`` seconds of *simulated* time, and an optional
+``real_sleep`` flag reproduces the paper's wall-clock emulation for
+demonstrations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils.sizes import megabits_per_second_to_bytes_per_second
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """A point-to-point link characterised by bandwidth and fixed latency."""
+
+    bandwidth_mbps: float
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps} Mbps")
+        if self.latency_seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_seconds}")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Usable link throughput in bytes per second."""
+        return megabits_per_second_to_bytes_per_second(self.bandwidth_mbps)
+
+    def transmission_seconds(self, num_bytes: int) -> float:
+        """Seconds needed to push ``num_bytes`` through the link."""
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+        return self.latency_seconds + num_bytes / self.bytes_per_second
+
+
+#: Bandwidths highlighted in the paper's evaluation.
+EDGE_BANDWIDTH_MBPS = 10.0  # typical constrained edge uplink (Figure 7/9)
+DATACENTER_BANDWIDTH_MBPS = 10_000.0  # "can approach 10 Gbps" (Section VI-C)
+
+
+@dataclass
+class TransferRecord:
+    """One simulated transfer."""
+
+    payload_nbytes: int
+    seconds: float
+    description: str = ""
+
+
+@dataclass
+class SimulatedChannel:
+    """Client→server channel accumulating simulated transfer time.
+
+    ``real_sleep=True`` reproduces the paper's wall-clock emulation (the
+    process actually sleeps for the computed duration); by default time is
+    only accounted virtually so large sweeps remain fast.
+    """
+
+    bandwidth: BandwidthModel
+    real_sleep: bool = False
+    transfers: List[TransferRecord] = field(default_factory=list)
+
+    def send(self, payload: bytes | int, description: str = "") -> TransferRecord:
+        """Simulate sending ``payload`` (bytes object or a byte count)."""
+        num_bytes = payload if isinstance(payload, int) else len(payload)
+        seconds = self.bandwidth.transmission_seconds(num_bytes)
+        if self.real_sleep:
+            time.sleep(seconds)
+        record = TransferRecord(payload_nbytes=num_bytes, seconds=seconds, description=description)
+        self.transfers.append(record)
+        return record
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated transfer time so far."""
+        return sum(record.seconds for record in self.transfers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes pushed through the channel so far."""
+        return sum(record.payload_nbytes for record in self.transfers)
+
+    def reset(self) -> None:
+        """Forget all recorded transfers."""
+        self.transfers.clear()

@@ -1,0 +1,104 @@
+"""Equation 1: when is compression worth it?
+
+The paper's decision criterion (Section II-B) states that compressing is a
+runtime win whenever the time spent compressing, decompressing and sending
+the *compressed* payload is smaller than the time to send the original
+payload:
+
+    0 < t_C + t_D + S'/B_N < S/B_N
+
+This module provides the predicate, the net time saving, and the crossover
+bandwidth above which compression stops paying off (the ≈500 Mbps threshold
+of Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.bandwidth import BandwidthModel
+
+
+@dataclass(frozen=True)
+class CompressionDecision:
+    """Outcome of evaluating Eqn. 1 for one configuration."""
+
+    original_nbytes: int
+    compressed_nbytes: int
+    compress_seconds: float
+    decompress_seconds: float
+    bandwidth_mbps: float
+
+    @property
+    def uncompressed_transfer_seconds(self) -> float:
+        """Time to send the original payload (S / B_N)."""
+        return BandwidthModel(self.bandwidth_mbps).transmission_seconds(self.original_nbytes)
+
+    @property
+    def compressed_total_seconds(self) -> float:
+        """t_C + t_D + S' / B_N."""
+        transfer = BandwidthModel(self.bandwidth_mbps).transmission_seconds(self.compressed_nbytes)
+        return self.compress_seconds + self.decompress_seconds + transfer
+
+    @property
+    def worthwhile(self) -> bool:
+        """True when Eqn. 1 holds (compression reduces end-to-end time)."""
+        return 0.0 < self.compressed_total_seconds < self.uncompressed_transfer_seconds
+
+    @property
+    def seconds_saved(self) -> float:
+        """Net saving (positive when compression wins)."""
+        return self.uncompressed_transfer_seconds - self.compressed_total_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Uncompressed time divided by compressed time."""
+        total = self.compressed_total_seconds
+        if total <= 0:
+            return float("inf")
+        return self.uncompressed_transfer_seconds / total
+
+
+def should_compress(
+    original_nbytes: int,
+    compressed_nbytes: int,
+    compress_seconds: float,
+    decompress_seconds: float,
+    bandwidth_mbps: float,
+) -> CompressionDecision:
+    """Evaluate Eqn. 1 for a single payload/bandwidth configuration."""
+    if original_nbytes < 0 or compressed_nbytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    if compress_seconds < 0 or decompress_seconds < 0:
+        raise ValueError("codec runtimes must be non-negative")
+    return CompressionDecision(
+        original_nbytes=int(original_nbytes),
+        compressed_nbytes=int(compressed_nbytes),
+        compress_seconds=float(compress_seconds),
+        decompress_seconds=float(decompress_seconds),
+        bandwidth_mbps=float(bandwidth_mbps),
+    )
+
+
+def crossover_bandwidth_mbps(
+    original_nbytes: int,
+    compressed_nbytes: int,
+    compress_seconds: float,
+    decompress_seconds: float,
+) -> float:
+    """Bandwidth at which compression stops being worthwhile.
+
+    Solving ``t_C + t_D + S'/B = S/B`` for ``B`` gives
+    ``B* = (S - S') / (t_C + t_D)``.  Below ``B*`` compression wins; above it
+    the codec overhead dominates.  Returns ``inf`` when the codec runtime is
+    zero and the payload actually shrank (compression always wins), and 0.0
+    when compression does not reduce the payload at all.
+    """
+    saved_bytes = original_nbytes - compressed_nbytes
+    if saved_bytes <= 0:
+        return 0.0
+    codec_seconds = compress_seconds + decompress_seconds
+    if codec_seconds <= 0:
+        return float("inf")
+    bytes_per_second = saved_bytes / codec_seconds
+    return bytes_per_second * 8.0 / 1e6

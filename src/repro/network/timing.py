@@ -1,0 +1,160 @@
+"""Communication and epoch timing models.
+
+Combines the bandwidth model, the device profiles and measured (or modelled)
+codec runtimes into the quantities the paper plots:
+
+* per-update communication time with and without FedSZ (Figure 7),
+* communication time across a bandwidth sweep (Figure 8),
+* per-epoch client runtime breakdown — training, validation, compression
+  (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.bandwidth import BandwidthModel
+from repro.network.decision import CompressionDecision, should_compress
+from repro.network.devices import DeviceProfile
+
+
+@dataclass(frozen=True)
+class CommunicationEstimate:
+    """Modelled end-to-end time for shipping one client update."""
+
+    compressor: Optional[str]
+    error_bound: Optional[float]
+    bandwidth_mbps: float
+    original_nbytes: int
+    transmitted_nbytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Pure wire time of the transmitted payload."""
+        return BandwidthModel(self.bandwidth_mbps).transmission_seconds(self.transmitted_nbytes)
+
+    @property
+    def total_seconds(self) -> float:
+        """Codec time plus wire time."""
+        return self.compress_seconds + self.decompress_seconds + self.transfer_seconds
+
+    def as_decision(self) -> CompressionDecision:
+        """View this estimate through the Eqn.-1 decision lens."""
+        return should_compress(
+            self.original_nbytes,
+            self.transmitted_nbytes,
+            self.compress_seconds,
+            self.decompress_seconds,
+            self.bandwidth_mbps,
+        )
+
+
+def estimate_communication(
+    original_nbytes: int,
+    compressed_nbytes: Optional[int],
+    bandwidth_mbps: float,
+    compressor: Optional[str] = None,
+    error_bound: Optional[float] = None,
+    device: Optional[DeviceProfile] = None,
+    measured_compress_seconds: float = 0.0,
+    measured_decompress_seconds: float = 0.0,
+) -> CommunicationEstimate:
+    """Build a :class:`CommunicationEstimate` for one configuration.
+
+    When ``device`` is provided, codec runtimes are modelled from the device's
+    published throughputs (the Raspberry Pi 5 numbers of Table I); otherwise
+    the caller-supplied measured runtimes are used.  Passing
+    ``compressed_nbytes=None`` models the uncompressed baseline.
+    """
+    if compressed_nbytes is None:
+        return CommunicationEstimate(
+            compressor=None,
+            error_bound=None,
+            bandwidth_mbps=bandwidth_mbps,
+            original_nbytes=int(original_nbytes),
+            transmitted_nbytes=int(original_nbytes),
+            compress_seconds=0.0,
+            decompress_seconds=0.0,
+        )
+    if device is not None and compressor is not None:
+        compress_seconds = device.compression_seconds(compressor, original_nbytes, error_bound or 1e-2)
+        decompress_seconds = device.decompression_seconds(
+            compressor, original_nbytes, error_bound or 1e-2
+        )
+    else:
+        compress_seconds = measured_compress_seconds
+        decompress_seconds = measured_decompress_seconds
+    return CommunicationEstimate(
+        compressor=compressor,
+        error_bound=error_bound,
+        bandwidth_mbps=bandwidth_mbps,
+        original_nbytes=int(original_nbytes),
+        transmitted_nbytes=int(compressed_nbytes),
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+    )
+
+
+@dataclass
+class EpochTimeBreakdown:
+    """Per-epoch client wall-clock decomposition (Figure 6)."""
+
+    client_training_seconds: float = 0.0
+    validation_seconds: float = 0.0
+    compression_seconds: float = 0.0
+    communication_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all components."""
+        return (
+            self.client_training_seconds
+            + self.validation_seconds
+            + self.compression_seconds
+            + self.communication_seconds
+        )
+
+    @property
+    def compression_overhead_fraction(self) -> float:
+        """Compression share of the epoch (the paper reports <4.7 % on average)."""
+        total = self.total_seconds
+        if total <= 0:
+            return 0.0
+        return self.compression_seconds / total
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation."""
+        return {
+            "client_training_seconds": self.client_training_seconds,
+            "validation_seconds": self.validation_seconds,
+            "compression_seconds": self.compression_seconds,
+            "communication_seconds": self.communication_seconds,
+            "total_seconds": self.total_seconds,
+            "compression_overhead_percent": 100.0 * self.compression_overhead_fraction,
+        }
+
+
+@dataclass
+class TimingAccumulator:
+    """Accumulates epoch breakdowns across rounds and clients."""
+
+    breakdowns: List[EpochTimeBreakdown] = field(default_factory=list)
+
+    def add(self, breakdown: EpochTimeBreakdown) -> None:
+        """Record one epoch breakdown."""
+        self.breakdowns.append(breakdown)
+
+    def mean_breakdown(self) -> EpochTimeBreakdown:
+        """Element-wise mean across every recorded breakdown."""
+        if not self.breakdowns:
+            return EpochTimeBreakdown()
+        count = len(self.breakdowns)
+        return EpochTimeBreakdown(
+            client_training_seconds=sum(b.client_training_seconds for b in self.breakdowns) / count,
+            validation_seconds=sum(b.validation_seconds for b in self.breakdowns) / count,
+            compression_seconds=sum(b.compression_seconds for b in self.breakdowns) / count,
+            communication_seconds=sum(b.communication_seconds for b in self.breakdowns) / count,
+        )

@@ -1,0 +1,53 @@
+"""Pure-numpy neural-network substrate (the PyTorch stand-in).
+
+Provides the ``Module`` / ``Parameter`` / ``state_dict`` surface the FedSZ
+pipeline compresses, the layers needed by AlexNet / MobileNetV2 / ResNet, a
+cross-entropy loss, SGD, and model profiling utilities.
+"""
+
+from repro.nn import functional
+from repro.nn.flops import ModelProfile, count_flops, count_parameters, lossy_fraction, profile_model
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Sequential,
+)
+from repro.nn.losses import CrossEntropyLoss, cross_entropy_with_grad
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.nn.parameter import Parameter
+
+__all__ = [
+    "functional",
+    "ModelProfile",
+    "count_flops",
+    "count_parameters",
+    "lossy_fraction",
+    "profile_model",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "ReLU6",
+    "Sequential",
+    "CrossEntropyLoss",
+    "cross_entropy_with_grad",
+    "Module",
+    "SGD",
+    "Parameter",
+]

@@ -1,0 +1,323 @@
+"""Functional building blocks: im2col convolution, pooling, activations.
+
+Everything operates on float32 numpy arrays in NCHW layout and returns both
+the forward result and whatever cache the corresponding backward pass needs.
+The implementations favour clarity and vectorisation over memory frugality,
+which is the right trade-off for the laptop-scale models used in the
+federated simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding windows as columns.
+
+    Parameters
+    ----------
+    inputs:
+        Array of shape ``(batch, channels, height, width)``.
+
+    Returns
+    -------
+    columns:
+        Array of shape ``(batch, channels * kernel * kernel, out_h * out_w)``.
+    out_h, out_w:
+        Output spatial dimensions.
+    """
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if padding > 0:
+        inputs = np.pad(
+            inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    strides = inputs.strides
+    window_view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    columns = window_view.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add columns back to image space (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=columns.dtype
+    )
+    reshaped = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += reshaped[:, :, ky, kx, :, :]
+    if padding > 0:
+        return padded[:, :, padding : padding + height, padding : padding + width]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d_forward(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    groups: int = 1,
+) -> Tuple[np.ndarray, dict]:
+    """Grouped 2-D convolution forward pass.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, k, k)``.
+    """
+    batch, in_channels, _, _ = inputs.shape
+    out_channels, group_in, kernel, _ = weight.shape
+    if in_channels % groups or out_channels % groups:
+        raise ValueError("channel counts must be divisible by groups")
+    if group_in != in_channels // groups:
+        raise ValueError(
+            f"weight expects {group_in} input channels per group, got {in_channels // groups}"
+        )
+
+    columns, out_h, out_w = im2col(inputs, kernel, stride, padding)
+    cache = {
+        "columns": columns,
+        "input_shape": inputs.shape,
+        "weight_shape": weight.shape,
+        "stride": stride,
+        "padding": padding,
+        "groups": groups,
+        "out_hw": (out_h, out_w),
+    }
+
+    if groups == 1:
+        flat_weight = weight.reshape(out_channels, -1)
+        output = np.einsum("of,bfp->bop", flat_weight, columns, optimize=True)
+    else:
+        group_out = out_channels // groups
+        columns_grouped = columns.reshape(batch, groups, group_in * kernel * kernel, out_h * out_w)
+        weight_grouped = weight.reshape(groups, group_out, group_in * kernel * kernel)
+        output = np.einsum("gof,bgfp->bgop", weight_grouped, columns_grouped, optimize=True)
+        output = output.reshape(batch, out_channels, out_h * out_w)
+
+    output = output.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        output = output + bias.reshape(1, -1, 1, 1)
+    return output.astype(np.float32), cache
+
+
+def conv2d_backward(
+    grad_output: np.ndarray, weight: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of a grouped convolution.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    columns = cache["columns"]
+    input_shape = cache["input_shape"]
+    stride = cache["stride"]
+    padding = cache["padding"]
+    groups = cache["groups"]
+    out_h, out_w = cache["out_hw"]
+
+    batch, in_channels, _, _ = input_shape
+    out_channels, group_in, kernel, _ = weight.shape
+    grad_flat = grad_output.reshape(batch, out_channels, out_h * out_w)
+    grad_bias = grad_flat.sum(axis=(0, 2))
+
+    if groups == 1:
+        flat_weight = weight.reshape(out_channels, -1)
+        grad_weight = np.einsum("bop,bfp->of", grad_flat, columns, optimize=True).reshape(weight.shape)
+        grad_columns = np.einsum("of,bop->bfp", flat_weight, grad_flat, optimize=True)
+    else:
+        group_out = out_channels // groups
+        grad_grouped = grad_flat.reshape(batch, groups, group_out, out_h * out_w)
+        columns_grouped = columns.reshape(batch, groups, group_in * kernel * kernel, out_h * out_w)
+        weight_grouped = weight.reshape(groups, group_out, group_in * kernel * kernel)
+        grad_weight = np.einsum("bgop,bgfp->gof", grad_grouped, columns_grouped, optimize=True)
+        grad_weight = grad_weight.reshape(weight.shape)
+        grad_columns = np.einsum("gof,bgop->bgfp", weight_grouped, grad_grouped, optimize=True)
+        grad_columns = grad_columns.reshape(batch, in_channels * kernel * kernel, out_h * out_w)
+
+    grad_input = col2im(grad_columns, input_shape, kernel, stride, padding)
+    return (
+        grad_input.astype(np.float32),
+        grad_weight.astype(np.float32),
+        grad_bias.astype(np.float32),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d_forward(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int = 0
+) -> Tuple[np.ndarray, dict]:
+    """Max pooling forward pass."""
+    batch, channels, height, width = inputs.shape
+    columns, out_h, out_w = im2col(
+        inputs.reshape(batch * channels, 1, height, width), kernel, stride, padding
+    )
+    # columns: (batch*channels, kernel*kernel, out_h*out_w)
+    argmax = columns.argmax(axis=1)
+    output = columns.max(axis=1).reshape(batch, channels, out_h, out_w)
+    cache = {
+        "argmax": argmax,
+        "input_shape": inputs.shape,
+        "kernel": kernel,
+        "stride": stride,
+        "padding": padding,
+        "out_hw": (out_h, out_w),
+    }
+    return output.astype(np.float32), cache
+
+
+def max_pool2d_backward(grad_output: np.ndarray, cache: dict) -> np.ndarray:
+    """Max pooling backward pass."""
+    batch, channels, height, width = cache["input_shape"]
+    kernel = cache["kernel"]
+    stride = cache["stride"]
+    padding = cache["padding"]
+    out_h, out_w = cache["out_hw"]
+    argmax = cache["argmax"]
+
+    grad_columns = np.zeros(
+        (batch * channels, kernel * kernel, out_h * out_w), dtype=np.float32
+    )
+    flat_grad = grad_output.reshape(batch * channels, out_h * out_w)
+    rows = np.arange(batch * channels)[:, None]
+    cols = np.arange(out_h * out_w)[None, :]
+    grad_columns[rows, argmax, cols] = flat_grad
+    grad_input = col2im(
+        grad_columns, (batch * channels, 1, height, width), kernel, stride, padding
+    )
+    return grad_input.reshape(batch, channels, height, width).astype(np.float32)
+
+
+def global_avg_pool_forward(inputs: np.ndarray) -> Tuple[np.ndarray, dict]:
+    """Adaptive average pooling to a 1×1 spatial output."""
+    output = inputs.mean(axis=(2, 3), keepdims=True)
+    return output.astype(np.float32), {"input_shape": inputs.shape}
+
+
+def global_avg_pool_backward(grad_output: np.ndarray, cache: dict) -> np.ndarray:
+    """Backward pass of global average pooling."""
+    _, _, height, width = cache["input_shape"]
+    scale = 1.0 / (height * width)
+    return (np.broadcast_to(grad_output, cache["input_shape"]) * scale).astype(np.float32)
+
+
+def avg_pool2d_forward(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int = 0
+) -> Tuple[np.ndarray, dict]:
+    """Average pooling forward pass."""
+    batch, channels, height, width = inputs.shape
+    columns, out_h, out_w = im2col(
+        inputs.reshape(batch * channels, 1, height, width), kernel, stride, padding
+    )
+    output = columns.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    cache = {
+        "input_shape": inputs.shape,
+        "kernel": kernel,
+        "stride": stride,
+        "padding": padding,
+        "out_hw": (out_h, out_w),
+    }
+    return output.astype(np.float32), cache
+
+
+def avg_pool2d_backward(grad_output: np.ndarray, cache: dict) -> np.ndarray:
+    """Average pooling backward pass."""
+    batch, channels, height, width = cache["input_shape"]
+    kernel = cache["kernel"]
+    stride = cache["stride"]
+    padding = cache["padding"]
+    out_h, out_w = cache["out_hw"]
+    flat_grad = grad_output.reshape(batch * channels, 1, out_h * out_w)
+    grad_columns = np.repeat(flat_grad / (kernel * kernel), kernel * kernel, axis=1)
+    grad_input = col2im(
+        grad_columns, (batch * channels, 1, height, width), kernel, stride, padding
+    )
+    return grad_input.reshape(batch, channels, height, width).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# Activations and classification head
+# ----------------------------------------------------------------------
+def relu_forward(inputs: np.ndarray, max_value: float | None = None) -> Tuple[np.ndarray, np.ndarray]:
+    """ReLU (or ReLU6 when ``max_value`` is set) forward pass."""
+    if max_value is None:
+        output = np.maximum(inputs, 0.0)
+        mask = inputs > 0.0
+    else:
+        output = np.clip(inputs, 0.0, max_value)
+        mask = (inputs > 0.0) & (inputs < max_value)
+    return output.astype(np.float32), mask
+
+
+def relu_backward(grad_output: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """ReLU backward pass."""
+    return (grad_output * mask).astype(np.float32)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient with respect to the logits."""
+    probabilities = softmax(logits.astype(np.float64))
+    batch = logits.shape[0]
+    clipped = np.clip(probabilities[np.arange(batch), targets], 1e-12, None)
+    loss = float(-np.mean(np.log(clipped)))
+    grad = probabilities.copy()
+    grad[np.arange(batch), targets] -= 1.0
+    grad /= batch
+    return loss, grad.astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=-1)
+    return float(np.mean(predictions == targets))

@@ -1,0 +1,334 @@
+"""Neural-network layers with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.seeding import default_rng
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = rng or default_rng()
+        self.weight = Parameter(init.linear_weight(out_features, in_features, rng))
+        if bias:
+            self.bias = Parameter(init.linear_bias(out_features, in_features, rng))
+        else:
+            self.register_parameter("bias", None)
+            object.__setattr__(self, "bias", None)
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._cache = inputs
+        output = inputs @ self.weight.data.T
+        if self.bias is not None:
+            output = output + self.bias.data
+        return output.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        inputs = self._cache
+        self.weight.accumulate_grad(grad_output.T @ inputs)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return (grad_output @ self.weight.data).astype(np.float32)
+
+
+class Conv2d(Module):
+    """2-D convolution (supports grouped and depthwise convolutions)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        rng = rng or default_rng()
+        self.weight = Parameter(
+            init.conv_weight(out_channels, in_channels // groups, kernel_size, rng)
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels, dtype=np.float32))
+        else:
+            self.register_parameter("bias", None)
+            object.__setattr__(self, "bias", None)
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        bias = self.bias.data if self.bias is not None else None
+        output, self._cache = F.conv2d_forward(
+            inputs, self.weight.data, bias, self.stride, self.padding, self.groups
+        )
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_input, grad_weight, grad_bias = F.conv2d_backward(
+            grad_output, self.weight.data, self._cache
+        )
+        self.weight.accumulate_grad(grad_weight)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_bias)
+        return grad_input
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel axis of NCHW inputs.
+
+    Running statistics are tracked as buffers (``running_mean``,
+    ``running_var`` and ``num_batches_tracked``) so that they appear in
+    ``state_dict()`` — they are precisely the "metadata and non-weight
+    parameters" FedSZ routes through the lossless path.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.array(0, dtype=np.int64))
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = inputs.mean(axis=(0, 2, 3))
+            var = inputs.var(axis=(0, 2, 3))
+            self._buffers["running_mean"] = (
+                (1.0 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean
+            ).astype(np.float32)
+            self._buffers["running_var"] = (
+                (1.0 - self.momentum) * self._buffers["running_var"] + self.momentum * var
+            ).astype(np.float32)
+            self._buffers["num_batches_tracked"] = self._buffers["num_batches_tracked"] + 1
+        else:
+            mean = self._buffers["running_mean"]
+            var = self._buffers["running_var"]
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (inputs - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        output = normalized * self.weight.data.reshape(1, -1, 1, 1) + self.bias.data.reshape(1, -1, 1, 1)
+        self._cache = {
+            "normalized": normalized,
+            "inv_std": inv_std,
+            "input_shape": inputs.shape,
+            "training": self.training,
+        }
+        return output.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        normalized = cache["normalized"]
+        inv_std = cache["inv_std"]
+        batch, _, height, width = cache["input_shape"]
+        count = batch * height * width
+
+        grad_weight = np.sum(grad_output * normalized, axis=(0, 2, 3))
+        grad_bias = np.sum(grad_output, axis=(0, 2, 3))
+        self.weight.accumulate_grad(grad_weight)
+        self.bias.accumulate_grad(grad_bias)
+
+        grad_normalized = grad_output * self.weight.data.reshape(1, -1, 1, 1)
+        if cache["training"]:
+            # Full batch-norm gradient (statistics depend on the batch).
+            sum_grad = grad_normalized.sum(axis=(0, 2, 3), keepdims=True)
+            sum_grad_normalized = (grad_normalized * normalized).sum(axis=(0, 2, 3), keepdims=True)
+            grad_input = (
+                grad_normalized - sum_grad / count - normalized * sum_grad_normalized / count
+            ) * inv_std.reshape(1, -1, 1, 1)
+        else:
+            grad_input = grad_normalized * inv_std.reshape(1, -1, 1, 1)
+        return grad_input.astype(np.float32)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._mask = F.relu_forward(inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.relu_backward(grad_output, self._mask)
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6, used throughout MobileNetV2."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._mask = F.relu_forward(inputs, max_value=6.0)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.relu_backward(grad_output, self._mask)
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._cache = F.max_pool2d_forward(
+            inputs, self.kernel_size, self.stride, self.padding
+        )
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.max_pool2d_backward(grad_output, self._cache)
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self.padding = int(padding)
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._cache = F.avg_pool2d_forward(
+            inputs, self.kernel_size, self.stride, self.padding
+        )
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d_backward(grad_output, self._cache)
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pooling to 1×1 (the head pooling of ResNet/MobileNet)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output, self._cache = F.global_avg_pool_forward(inputs)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool_backward(grad_output, self._cache)
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, probability: float = 0.5, rng=None) -> None:
+        super().__init__()
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {probability}")
+        self.probability = float(probability)
+        self._rng = rng or default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training or self.probability == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.probability
+        self._mask = (self._rng.random(inputs.shape) < keep).astype(np.float32) / keep
+        return (inputs * self._mask).astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return (grad_output * self._mask).astype(np.float32)
+
+
+class Identity(Module):
+    """Pass-through module (used for optional residual projections)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Sequential(Module):
+    """Container applying child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[str(index)]
+
+    def append(self, module: Module) -> "Sequential":
+        """Add a module at the end of the container."""
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = inputs
+        for module in self._modules.values():
+            output = module(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for module in reversed(list(self._modules.values())):
+            grad = module.backward(grad)
+        return grad

@@ -1,0 +1,110 @@
+"""AlexNet (Krizhevsky et al., 2012) in the layout used by torchvision.
+
+Two variants are provided:
+
+* ``"paper"`` — the full-size network with the 4096-unit classifier, matching
+  the ~61 M parameters / ~230 MB state dict reported in Table III of the
+  FedSZ paper.  It is used for compression, sizing and communication
+  experiments (its state dict is what gets compressed), with 224×224 inputs.
+* ``"tiny"`` — the same architectural skeleton (five convolutions, three-layer
+  classifier, dropout) scaled down so that it can actually be trained in a
+  pure-numpy federated simulation on synthetic 32×32 data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.utils.seeding import default_rng
+
+
+class AlexNet(Module):
+    """AlexNet with a configurable size variant."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        variant: str = "paper",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if variant not in {"paper", "tiny"}:
+            raise ValueError(f"unknown AlexNet variant {variant!r}")
+        self.variant = variant
+        self.num_classes = int(num_classes)
+        rng = rng or default_rng()
+
+        if variant == "paper":
+            channels = (64, 192, 384, 256, 256)
+            hidden = 4096
+            classifier_inputs = 256 * 6 * 6
+            self.features = Sequential(
+                Conv2d(in_channels, channels[0], 11, stride=4, padding=2, rng=rng),
+                ReLU(),
+                MaxPool2d(3, stride=2),
+                Conv2d(channels[0], channels[1], 5, padding=2, rng=rng),
+                ReLU(),
+                MaxPool2d(3, stride=2),
+                Conv2d(channels[1], channels[2], 3, padding=1, rng=rng),
+                ReLU(),
+                Conv2d(channels[2], channels[3], 3, padding=1, rng=rng),
+                ReLU(),
+                Conv2d(channels[3], channels[4], 3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2d(3, stride=2),
+            )
+            self.classifier = Sequential(
+                Flatten(),
+                Dropout(0.5, rng=rng),
+                Linear(classifier_inputs, hidden, rng=rng),
+                ReLU(),
+                Dropout(0.5, rng=rng),
+                Linear(hidden, hidden, rng=rng),
+                ReLU(),
+                Linear(hidden, num_classes, rng=rng),
+            )
+        else:
+            channels = (32, 64, 96, 96, 64)
+            hidden = 128
+            self.features = Sequential(
+                Conv2d(in_channels, channels[0], 3, stride=1, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2d(2, stride=2),
+                Conv2d(channels[0], channels[1], 3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2d(2, stride=2),
+                Conv2d(channels[1], channels[2], 3, padding=1, rng=rng),
+                ReLU(),
+                Conv2d(channels[2], channels[3], 3, padding=1, rng=rng),
+                ReLU(),
+                Conv2d(channels[3], channels[4], 3, padding=1, rng=rng),
+                ReLU(),
+                GlobalAvgPool2d(),
+            )
+            self.classifier = Sequential(
+                Flatten(),
+                Dropout(0.3, rng=rng),
+                Linear(channels[4], hidden, rng=rng),
+                ReLU(),
+                Linear(hidden, num_classes, rng=rng),
+            )
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self.classifier(self.features(inputs))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.classifier.backward(grad_output))

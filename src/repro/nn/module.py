@@ -1,0 +1,221 @@
+"""Module base class: the ``state_dict`` surface FedSZ compresses.
+
+The class intentionally mirrors ``torch.nn.Module`` for the features the
+FedSZ pipeline and the federated-learning runtime rely on:
+
+* attribute assignment auto-registers child modules and parameters;
+* ``named_parameters`` / ``named_buffers`` walk the module tree with
+  dot-separated names (``features.0.weight`` ...);
+* ``state_dict()`` returns an ordered mapping of *numpy arrays* covering both
+  trainable parameters and buffers (BatchNorm running statistics and the
+  ``num_batches_tracked`` counters), exactly the object Algorithm 1 of the
+  paper partitions into lossy / lossless components;
+* ``load_state_dict()`` restores a model from such a mapping;
+* ``train()`` / ``eval()`` toggle training-mode behaviour (Dropout,
+  BatchNorm).
+
+Unlike PyTorch there is no autograd graph: every module implements an
+explicit ``forward`` and ``backward`` and caches whatever it needs in
+between.  That keeps the substrate small, dependency-free and fast enough for
+laptop-scale federated simulations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_parameter(self, name: str, parameter: Optional[Parameter]) -> None:
+        """Register a trainable parameter under ``name``."""
+        if parameter is not None and not isinstance(parameter, Parameter):
+            raise TypeError(f"expected Parameter or None, got {type(parameter).__name__}")
+        self._parameters[name] = parameter
+
+    def register_buffer(self, name: str, buffer: Optional[np.ndarray]) -> None:
+        """Register non-trainable state (e.g. running statistics)."""
+        self._buffers[name] = None if buffer is None else np.asarray(buffer)
+
+    def add_module(self, name: str, module: Optional["Module"]) -> None:
+        """Register a child module under ``name``."""
+        if module is not None and not isinstance(module, Module):
+            raise TypeError(f"expected Module or None, got {type(module).__name__}")
+        self._modules[name] = module
+
+    def __setattr__(self, name: str, value) -> None:
+        # Auto-registration mirrors torch.nn.Module ergonomics.
+        if isinstance(value, Parameter):
+            if "_parameters" not in self.__dict__:
+                raise AttributeError("Module.__init__() must be called before assigning parameters")
+            self._parameters[name] = value
+            object.__setattr__(self, name, value)
+        elif isinstance(value, Module):
+            if "_modules" not in self.__dict__:
+                raise AttributeError("Module.__init__() must be called before assigning submodules")
+            self._modules[name] = value
+            object.__setattr__(self, name, value)
+        else:
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        """Immediate child modules."""
+        for module in self._modules.values():
+            if module is not None:
+                yield module
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """All modules in the tree, including ``self``."""
+        yield prefix, self
+        for name, module in self._modules.items():
+            if module is None:
+                continue
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """All parameters in the tree with dot-separated names."""
+        for name, parameter in self._parameters.items():
+            if parameter is not None:
+                yield (f"{prefix}.{name}" if prefix else name), parameter
+        for child_name, module in self._modules.items():
+            if module is None:
+                continue
+            child_prefix = f"{prefix}.{child_name}" if prefix else child_name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All parameters in the tree."""
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """All buffers in the tree with dot-separated names."""
+        for name, buffer in self._buffers.items():
+            if buffer is not None:
+                yield (f"{prefix}.{name}" if prefix else name), buffer
+        for child_name, module in self._modules.items():
+            if module is None:
+                continue
+            child_prefix = f"{prefix}.{child_name}" if prefix else child_name
+            yield from module.named_buffers(child_prefix)
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Snapshot of every parameter and buffer as numpy arrays.
+
+        Arrays are copies, so mutating the returned dictionary does not affect
+        the live model — matching ``torch.nn.Module.state_dict()`` closely
+        enough for the compression pipeline.
+        """
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state_dict: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Restore parameters and buffers from ``state_dict``."""
+        own_parameters = dict(self.named_parameters())
+        own_buffer_names = [name for name, _ in self.named_buffers()]
+        missing: List[str] = []
+        for name, parameter in own_parameters.items():
+            if name in state_dict:
+                parameter.copy_(state_dict[name])
+            elif strict:
+                missing.append(name)
+        buffer_owner = self._buffer_owner_map()
+        for name in own_buffer_names:
+            if name in state_dict:
+                owner, local_name = buffer_owner[name]
+                incoming = np.asarray(state_dict[name])
+                current = owner._buffers[local_name]
+                owner._buffers[local_name] = incoming.astype(current.dtype).reshape(current.shape)
+            elif strict:
+                missing.append(name)
+        unexpected = [
+            key for key in state_dict if key not in own_parameters and key not in buffer_owner
+        ]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"load_state_dict mismatch: missing={missing!r}, unexpected={unexpected!r}"
+            )
+
+    def _buffer_owner_map(self) -> Dict[str, Tuple["Module", str]]:
+        """Map fully-qualified buffer names onto (owning module, local name)."""
+        owners: Dict[str, Tuple[Module, str]] = {}
+        for prefix, module in self.named_modules():
+            for local_name, buffer in module._buffers.items():
+                if buffer is None:
+                    continue
+                full_name = f"{prefix}.{local_name}" if prefix else local_name
+                owners[full_name] = (module, local_name)
+        return owners
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = bool(mode)
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in the module tree."""
+        return sum(
+            p.size for p in self.parameters() if not trainable_only or p.requires_grad
+        )
+
+    def state_nbytes(self) -> int:
+        """Byte footprint of the full state dict (parameters + buffers)."""
+        return int(sum(v.nbytes for v in self.state_dict().values()))
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        """Compute the module output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        """Back-propagate ``grad_output`` and return the gradient w.r.t. input."""
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"

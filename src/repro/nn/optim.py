@@ -1,0 +1,69 @@
+"""Optimizers.
+
+Only SGD (with optional momentum and weight decay) is provided — it is the
+optimizer used by FedAvg's local updates in the paper and keeps client state
+minimal, which matters for the federated simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("SGD received an empty parameter list")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for index, parameter in enumerate(self.parameters):
+            if not parameter.requires_grad or parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocity[index] = velocity
+                update = velocity
+            else:
+                update = gradient
+            parameter.data -= self.lr * update
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (e.g. for per-round decay schedules)."""
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)

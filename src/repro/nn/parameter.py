@@ -1,0 +1,66 @@
+"""Trainable parameter container.
+
+The neural-network substrate mirrors the small slice of the PyTorch API that
+FedSZ touches: modules own named :class:`Parameter` tensors (float32 numpy
+arrays with an associated gradient buffer) and named buffers (non-trainable
+state such as BatchNorm running statistics), and expose them through
+``state_dict()`` / ``load_state_dict()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor: value plus accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Byte footprint of the value array."""
+        return int(self.data.nbytes)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` to the accumulated gradient (creating it if needed)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def copy_(self, values: np.ndarray) -> None:
+        """In-place overwrite of the parameter value (used by load_state_dict)."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot load values of shape {values.shape} into parameter of shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape}, requires_grad={self.requires_grad})"

@@ -1,0 +1,101 @@
+"""Differential-privacy perspective on compression noise.
+
+The paper stops short of claiming a formal DP guarantee — it only notes that
+the error distribution *resembles* Laplace noise and that compression-based
+privacy amplification is an active research direction (Chen et al., 2024).
+This module provides the quantitative scaffolding for that discussion:
+
+* the classic Laplace mechanism (for comparison and for future hybrid
+  schemes),
+* an *equivalent-ε* estimate: the privacy parameter a genuine Laplace
+  mechanism would need for its noise scale to match the observed compression
+  error, given a query sensitivity,
+* a helper that injects calibrated Laplace noise into a state dict, so the
+  compression-as-noise hypothesis can be compared against genuine DP noise of
+  the same magnitude in accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.privacy.laplace import LaplaceFit, fit_laplace
+
+
+@dataclass(frozen=True)
+class EquivalentPrivacyEstimate:
+    """ε that a Laplace mechanism with the observed noise scale would provide."""
+
+    noise_scale: float
+    sensitivity: float
+    epsilon: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation."""
+        return {
+            "noise_scale": self.noise_scale,
+            "sensitivity": self.sensitivity,
+            "epsilon": self.epsilon,
+        }
+
+
+def laplace_mechanism(
+    values: np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Add Laplace(Δ/ε) noise to ``values`` (the textbook mechanism)."""
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng()
+    scale = sensitivity / epsilon
+    values = np.asarray(values, dtype=np.float64)
+    return values + rng.laplace(0.0, scale, size=values.shape)
+
+
+def equivalent_epsilon(errors: np.ndarray, sensitivity: float) -> EquivalentPrivacyEstimate:
+    """Estimate the ε whose Laplace mechanism matches the observed error scale.
+
+    A Laplace mechanism with sensitivity Δ and privacy parameter ε adds noise
+    of scale b = Δ/ε; inverting that with the fitted compression-error scale
+    gives ε = Δ/b.  This is *not* a DP guarantee (compression error is data
+    dependent), only the comparison the paper's discussion invites.
+    """
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+    fit: LaplaceFit = fit_laplace(errors)
+    epsilon = sensitivity / fit.scale
+    return EquivalentPrivacyEstimate(
+        noise_scale=fit.scale, sensitivity=float(sensitivity), epsilon=float(epsilon)
+    )
+
+
+def perturb_state_dict_with_laplace(
+    state_dict: Mapping[str, np.ndarray],
+    noise_scale: float,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Add zero-centred Laplace noise of the given scale to every float tensor.
+
+    Used by the DP-comparison experiments: models perturbed this way can be
+    evaluated side by side with FedSZ-compressed models whose error scale
+    matches ``noise_scale``.
+    """
+    if noise_scale < 0:
+        raise ValueError(f"noise_scale must be non-negative, got {noise_scale}")
+    rng = np.random.default_rng(seed)
+    perturbed: Dict[str, np.ndarray] = {}
+    for name, tensor in state_dict.items():
+        tensor = np.asarray(tensor)
+        if noise_scale > 0 and np.issubdtype(tensor.dtype, np.floating):
+            noise = rng.laplace(0.0, noise_scale, size=tensor.shape)
+            perturbed[name] = (tensor.astype(np.float64) + noise).astype(tensor.dtype)
+        else:
+            perturbed[name] = tensor.copy()
+    return perturbed

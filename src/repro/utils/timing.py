@@ -1,0 +1,101 @@
+"""Wall-clock timing helpers.
+
+The evaluation reports compression runtime, throughput and epoch-time
+breakdowns, so a small set of consistent timing primitives is used everywhere
+instead of scattering ``time.perf_counter()`` calls around the codebase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating timer keyed by label.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("compress"):
+    ...     pass
+    >>> timer.total("compress") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(label, elapsed)
+
+    def add(self, label: str, seconds: float) -> None:
+        """Record ``seconds`` against ``label``."""
+        self.totals[label] = self.totals.get(label, 0.0) + float(seconds)
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        """Total seconds recorded for ``label`` (0.0 if never recorded)."""
+        return self.totals.get(label, 0.0)
+
+    def mean(self, label: str) -> float:
+        """Mean seconds per measurement for ``label``."""
+        count = self.counts.get(label, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[label] / count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all totals."""
+        return dict(self.totals)
+
+    def reset(self) -> None:
+        """Clear all recorded measurements."""
+        self.totals.clear()
+        self.counts.clear()
+
+
+class Stopwatch:
+    """Single-shot stopwatch with lap support."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._laps: list[float] = []
+
+    def lap(self) -> float:
+        """Record and return the time since the last lap (or start)."""
+        now = time.perf_counter()
+        previous = self._start if not self._laps else self._last_lap_time
+        self._laps.append(now - previous)
+        self._last_lap_time = now
+        return self._laps[-1]
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+    @property
+    def laps(self) -> Tuple[float, ...]:
+        """All recorded laps."""
+        return tuple(self._laps)
+
+    _last_lap_time: float = 0.0
+
+
+def timed(func: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,40 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def ensure_positive(value: float, name: str, strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_in(value: T, choices: Iterable[T], name: str) -> T:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    options = list(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def ensure_type(value: Any, expected: Type[T], name: str) -> T:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be an instance of {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

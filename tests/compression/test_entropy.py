@@ -1,0 +1,74 @@
+"""Tests for the entropy-coding backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.entropy import decode_indices, encode_indices
+from repro.compression.errors import CorruptPayloadError
+
+
+@pytest.mark.parametrize("backend", ["deflate", "huffman"])
+def test_roundtrip_small_alphabet(backend, rng):
+    indices = rng.choice([-2, -1, 0, 1, 2], size=10_000, p=[0.05, 0.2, 0.5, 0.2, 0.05])
+    payload = encode_indices(indices, backend=backend)
+    np.testing.assert_array_equal(decode_indices(payload), indices)
+
+
+@pytest.mark.parametrize("backend", ["deflate", "huffman"])
+def test_roundtrip_wide_range(backend, rng):
+    indices = rng.integers(-(2**31), 2**31, size=2000)
+    payload = encode_indices(indices, backend=backend)
+    np.testing.assert_array_equal(decode_indices(payload), indices)
+
+
+def test_roundtrip_empty():
+    payload = encode_indices(np.array([], dtype=np.int64))
+    assert decode_indices(payload).size == 0
+
+
+def test_deflate_picks_narrow_dtype(rng):
+    small = rng.integers(-100, 100, size=50_000)
+    wide = rng.integers(-(2**40), 2**40, size=50_000)
+    assert len(encode_indices(small)) < len(encode_indices(wide))
+
+
+def test_skewed_indices_compress_well(rng):
+    indices = rng.choice([0, 1, -1], size=100_000, p=[0.9, 0.05, 0.05])
+    payload = encode_indices(indices)
+    assert len(payload) < indices.size  # < 1 byte per symbol
+
+
+def test_unknown_backend_raises(rng):
+    with pytest.raises(ValueError):
+        encode_indices(np.array([1, 2, 3]), backend="lz77")
+
+
+def test_corrupt_payload_raises(rng):
+    payload = encode_indices(rng.integers(-5, 5, size=100))
+    with pytest.raises((CorruptPayloadError, Exception)):
+        decode_indices(payload[:5])
+
+
+def test_truncated_body_detected(rng):
+    indices = rng.integers(-5, 5, size=1000)
+    payload = encode_indices(indices)
+    # Corrupt the declared count so it no longer matches the body.
+    tampered = payload[:1] + (2000).to_bytes(8, "little") + payload[9:]
+    with pytest.raises(CorruptPayloadError):
+        decode_indices(tampered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-(2**50), max_value=2**50), min_size=0, max_size=500),
+    backend=st.sampled_from(["deflate", "huffman"]),
+)
+def test_roundtrip_property(values, backend):
+    indices = np.array(values, dtype=np.int64)
+    if backend == "huffman" and indices.size == 0:
+        return
+    np.testing.assert_array_equal(decode_indices(encode_indices(indices, backend)), indices)

@@ -1,0 +1,109 @@
+"""Tests for the canonical Huffman codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.errors import CorruptPayloadError
+from repro.compression.huffman import (
+    HuffmanCode,
+    HuffmanCodec,
+    assign_canonical_codes,
+    build_code_lengths,
+    build_frequency_table,
+)
+
+
+def test_frequency_table_counts():
+    symbols = np.array([3, 3, 1, -2, 3, 1])
+    unique, counts = build_frequency_table(symbols)
+    assert unique.tolist() == [-2, 1, 3]
+    assert counts.tolist() == [1, 2, 3]
+
+
+def test_code_lengths_follow_frequencies():
+    # More frequent symbols must never get longer codes than rarer ones.
+    counts = np.array([100, 10, 5, 1])
+    lengths = build_code_lengths(counts)
+    assert lengths[0] <= lengths[1] <= lengths[3]
+    assert lengths.min() >= 1
+
+
+def test_single_symbol_alphabet_gets_one_bit():
+    assert build_code_lengths(np.array([42])).tolist() == [1]
+
+
+def test_kraft_inequality_holds():
+    rng = np.random.default_rng(0)
+    counts = rng.integers(1, 10_000, size=64)
+    lengths = build_code_lengths(counts)
+    assert float(np.sum(2.0 ** (-lengths.astype(float)))) <= 1.0 + 1e-12
+
+
+def test_canonical_codes_are_prefix_free():
+    counts = np.array([50, 20, 20, 5, 3, 1, 1])
+    symbols = np.arange(counts.size)
+    lengths = build_code_lengths(counts)
+    _, ordered_lengths, codes = assign_canonical_codes(symbols, lengths)
+    rendered = [
+        format(int(code), f"0{int(length)}b") for code, length in zip(codes, ordered_lengths)
+    ]
+    for i, a in enumerate(rendered):
+        for j, b in enumerate(rendered):
+            if i != j:
+                assert not b.startswith(a), f"{a} is a prefix of {b}"
+
+
+def test_codec_roundtrip_skewed_distribution():
+    rng = np.random.default_rng(1)
+    data = rng.choice([0, 0, 0, 0, 1, -1, 2, -2, 7], size=5000)
+    codec = HuffmanCodec()
+    decoded = codec.decode(codec.encode(data))
+    np.testing.assert_array_equal(decoded, data)
+
+
+def test_codec_roundtrip_negative_and_large_symbols():
+    data = np.array([-(2**40), 2**40, 0, -1, 1, 2**40, -(2**40)])
+    codec = HuffmanCodec()
+    np.testing.assert_array_equal(codec.decode(codec.encode(data)), data)
+
+
+def test_codec_empty_input():
+    codec = HuffmanCodec()
+    decoded = codec.decode(codec.encode(np.array([], dtype=np.int64)))
+    assert decoded.size == 0
+
+
+def test_codec_compresses_skewed_data_below_raw_size():
+    rng = np.random.default_rng(2)
+    data = rng.choice([0, 1, -1], size=20_000, p=[0.9, 0.05, 0.05]).astype(np.int64)
+    payload = HuffmanCodec().encode(data)
+    assert len(payload) < data.size * 2  # far below the 8 bytes/symbol raw cost
+
+
+def test_codec_rejects_truncated_payload():
+    payload = HuffmanCodec().encode(np.array([1, 2, 3, 4]))
+    with pytest.raises(CorruptPayloadError):
+        HuffmanCodec().decode(payload[: len(payload) - 2])
+
+
+def test_table_serialization_roundtrip():
+    data = np.array([5, 5, 5, -3, -3, 9])
+    code = HuffmanCode.from_symbols(data)
+    restored = HuffmanCode.deserialize_table(code.serialize_table())
+    np.testing.assert_array_equal(restored.symbols, code.symbols)
+    np.testing.assert_array_equal(restored.lengths, code.lengths)
+    np.testing.assert_array_equal(restored.codes, code.codes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=2000)
+)
+def test_codec_roundtrip_property(values):
+    data = np.array(values, dtype=np.int64)
+    codec = HuffmanCodec()
+    np.testing.assert_array_equal(codec.decode(codec.encode(data)), data)

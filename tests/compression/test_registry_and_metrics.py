@@ -1,0 +1,125 @@
+"""Tests for the compressor registry and the measurement helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    ErrorBoundMode,
+    SZ2Compressor,
+    available_lossless_compressors,
+    available_lossy_compressors,
+    compression_ratio,
+    evaluate_lossless,
+    evaluate_lossy,
+    get_lossless_compressor,
+    get_lossy_compressor,
+    max_abs_error,
+    mean_squared_error,
+    psnr,
+    register_lossless,
+    register_lossy,
+)
+from repro.compression.base import CompressionStats, pack_array, pack_sections, unpack_array, unpack_sections
+from repro.compression.errors import CorruptPayloadError, UnknownCompressorError
+from repro.compression.lossless import ZlibCompressor
+from repro.compression.metrics import stats_from_evaluation
+
+
+def test_builtin_registrations_present():
+    assert set(available_lossy_compressors()) >= {"sz2", "sz3", "szx", "zfp"}
+    assert set(available_lossless_compressors()) >= {"blosc-lz", "zstd", "zlib", "gzip", "xz"}
+
+
+def test_unknown_names_raise():
+    with pytest.raises(UnknownCompressorError):
+        get_lossy_compressor("definitely-not-a-compressor")
+    with pytest.raises(UnknownCompressorError):
+        get_lossless_compressor("definitely-not-a-compressor")
+
+
+def test_lookup_is_case_insensitive():
+    assert get_lossy_compressor("SZ2").name == "sz2"
+
+
+def test_custom_registration_roundtrip():
+    register_lossy("sz2-custom", lambda: SZ2Compressor(block_size=64))
+    assert get_lossy_compressor("sz2-custom").block_size == 64
+    register_lossless("zlib-fast", lambda: ZlibCompressor(level=1))
+    assert get_lossless_compressor("zlib-fast").level == 1
+
+
+def test_compression_ratio_and_edge_cases():
+    assert compression_ratio(100, 10) == 10.0
+    assert compression_ratio(100, 0) == float("inf")
+
+
+def test_error_metrics(rng):
+    original = rng.normal(0, 1, 1000)
+    noisy = original + 0.01
+    assert max_abs_error(original, noisy) == pytest.approx(0.01)
+    assert mean_squared_error(original, noisy) == pytest.approx(1e-4)
+    assert psnr(original, original) == float("inf")
+    assert psnr(original, noisy) > 20
+
+
+def test_evaluate_lossy_populates_all_fields(spiky_weights):
+    evaluation = evaluate_lossy(SZ2Compressor(), spiky_weights, 1e-2, ErrorBoundMode.REL)
+    assert evaluation.compressor == "sz2"
+    assert evaluation.ratio > 1.0
+    assert evaluation.compress_seconds > 0
+    assert evaluation.decompress_seconds > 0
+    assert evaluation.max_abs_error <= 1e-2 * (spiky_weights.max() - spiky_weights.min()) * 1.001
+    row = evaluation.as_row()
+    assert {"compressor", "ratio", "throughput_mb_s"} <= set(row)
+
+
+def test_evaluate_lossless_checks_roundtrip(rng):
+    data = rng.integers(0, 255, 10_000, dtype=np.uint8).tobytes()
+    evaluation = evaluate_lossless(ZlibCompressor(), data)
+    assert evaluation.original_nbytes == len(data)
+    assert evaluation.compress_throughput_mbps > 0
+
+
+def test_stats_from_evaluation(spiky_weights):
+    evaluation = evaluate_lossy(SZ2Compressor(), spiky_weights, 1e-2)
+    stats = stats_from_evaluation(evaluation)
+    assert isinstance(stats, CompressionStats)
+    assert stats.ratio == pytest.approx(evaluation.ratio)
+
+
+def test_compression_stats_properties():
+    stats = CompressionStats(original_nbytes=1000, compressed_nbytes=100, compress_seconds=0.001)
+    assert stats.ratio == 10.0
+    assert stats.compress_throughput_mbps == pytest.approx(1.0)
+
+
+def test_pack_sections_roundtrip():
+    sections = {"meta": b"\x01\x02", "codes": b"payload", "empty": b""}
+    assert unpack_sections(pack_sections(sections)) == sections
+
+
+def test_pack_sections_corrupt_magic():
+    payload = pack_sections({"a": b"b"})
+    with pytest.raises(CorruptPayloadError):
+        unpack_sections(b"ZZZZ" + payload[4:])
+
+
+def test_pack_array_roundtrip_various_dtypes(rng):
+    for dtype in (np.float32, np.float64, np.int64, np.uint8):
+        array = rng.integers(0, 100, size=(3, 5)).astype(dtype)
+        restored = unpack_array(pack_array(array))
+        np.testing.assert_array_equal(restored, array)
+        assert restored.dtype == array.dtype
+
+
+def test_pack_array_scalar_and_empty():
+    np.testing.assert_array_equal(unpack_array(pack_array(np.float32(3.5))), np.float32(3.5))
+    assert unpack_array(pack_array(np.zeros(0, dtype=np.float32))).size == 0
+
+
+def test_unpack_array_size_mismatch_detected():
+    payload = pack_array(np.arange(10, dtype=np.float32))
+    with pytest.raises(CorruptPayloadError):
+        unpack_array(payload[:-4])

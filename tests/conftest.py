@@ -1,0 +1,42 @@
+"""Shared pytest fixtures for the FedSZ reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import set_global_seed
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed():
+    """Every test starts from the same global seed for reproducibility."""
+    set_global_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def spiky_weights(rng: np.random.Generator) -> np.ndarray:
+    """Weight-like data: dense near zero with sparse large outliers.
+
+    This mirrors the FL model-parameter distributions characterised in
+    Figure 2/3 of the paper (spiky 1-D float data).
+    """
+    values = rng.normal(0.0, 0.02, 20_000).astype(np.float32)
+    outlier_positions = rng.choice(values.size, 64, replace=False)
+    values[outlier_positions] = rng.uniform(-0.9, 0.9, 64).astype(np.float32)
+    return values
+
+
+@pytest.fixture
+def smooth_field(rng: np.random.Generator) -> np.ndarray:
+    """Smooth scientific-simulation-like 1-D field (Miranda-style)."""
+    x = np.linspace(0.0, 8.0 * np.pi, 20_000)
+    signal = np.sin(x) + 0.3 * np.sin(3.1 * x) + 0.002 * rng.normal(0.0, 1.0, x.size)
+    return signal.astype(np.float32)

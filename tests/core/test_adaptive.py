@@ -1,0 +1,100 @@
+"""Tests for the adaptive error-bound controller and codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveErrorBoundController,
+    AdaptiveFedSZCompressor,
+)
+from repro.nn.models import create_model
+
+
+@pytest.fixture(scope="module")
+def state_dict():
+    return create_model("alexnet", "tiny", num_classes=10, seed=1).state_dict()
+
+
+def test_controller_holds_when_accuracy_keeps_up():
+    controller = AdaptiveErrorBoundController(initial_bound=1e-2, patience=3)
+    adjustment = controller.observe(0.5)
+    assert adjustment.action == "hold"
+    assert controller.current_bound == pytest.approx(1e-2)
+
+
+def test_controller_tightens_on_accuracy_drop():
+    controller = AdaptiveErrorBoundController(initial_bound=1e-2, tolerance=0.02, backoff_factor=10.0)
+    controller.observe(0.80)
+    adjustment = controller.observe(0.60)  # 20-point drop
+    assert adjustment.action == "tighten"
+    assert controller.current_bound == pytest.approx(1e-3)
+
+
+def test_controller_relaxes_after_patience_rounds():
+    controller = AdaptiveErrorBoundController(
+        initial_bound=1e-3, max_bound=1e-1, growth_factor=2.0, patience=2
+    )
+    controller.observe(0.5)
+    adjustment = controller.observe(0.55)
+    assert adjustment.action == "relax"
+    assert controller.current_bound == pytest.approx(2e-3)
+
+
+def test_controller_respects_bounds():
+    controller = AdaptiveErrorBoundController(
+        initial_bound=1e-5, min_bound=1e-5, max_bound=2e-5, growth_factor=10.0, patience=1
+    )
+    controller.observe(0.5)  # relax, clamps to max
+    assert controller.current_bound == pytest.approx(2e-5)
+    controller.observe(0.1)  # big drop -> tighten, clamps to min
+    assert controller.current_bound == pytest.approx(1e-5)
+
+
+def test_controller_history_records_every_round():
+    controller = AdaptiveErrorBoundController()
+    for accuracy in (0.3, 0.5, 0.2, 0.6):
+        controller.observe(accuracy)
+    history = controller.history()
+    assert len(history) == 4
+    assert [entry["round"] for entry in history] == [0, 1, 2, 3]
+    assert {"accuracy", "bound", "action"} <= set(history[0])
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        AdaptiveErrorBoundController(initial_bound=1.0, max_bound=0.1)
+    with pytest.raises(ValueError):
+        AdaptiveErrorBoundController(backoff_factor=1.0)
+    with pytest.raises(ValueError):
+        AdaptiveErrorBoundController(patience=0)
+    with pytest.raises(ValueError):
+        AdaptiveErrorBoundController(tolerance=-0.1)
+
+
+def test_adaptive_codec_retargets_bound(state_dict):
+    codec = AdaptiveFedSZCompressor(
+        AdaptiveErrorBoundController(initial_bound=1e-1, tolerance=0.02, backoff_factor=10.0)
+    )
+    loose_payload = codec.compress(state_dict)
+    codec.observe_accuracy(0.8)
+    codec.observe_accuracy(0.4)  # drop -> tighten to 1e-2
+    assert codec.current_bound == pytest.approx(1e-2)
+    tight_payload = codec.compress(state_dict)
+    assert len(tight_payload) > len(loose_payload)
+    restored = codec.decompress(tight_payload)
+    assert set(restored) == set(state_dict)
+    # The tightened bound is honoured by the reconstruction.
+    for name, tensor in state_dict.items():
+        if name in codec.last_report.per_tensor_ratio:
+            value_range = float(tensor.max() - tensor.min())
+            error = float(np.max(np.abs(restored[name] - tensor)))
+            assert error <= 1e-2 * value_range * 1.01 + 1e-7
+
+
+def test_adaptive_codec_reports_and_holds_without_feedback(state_dict):
+    codec = AdaptiveFedSZCompressor()
+    payload = codec.compress(state_dict)
+    assert codec.last_report.compressed_nbytes == len(payload)
+    assert codec.current_bound == pytest.approx(1e-2)

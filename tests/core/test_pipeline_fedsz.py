@@ -1,0 +1,200 @@
+"""Tests for the FedSZ pipeline, serializer and public compressor API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.base import ErrorBoundMode
+from repro.compression.errors import CorruptPayloadError
+from repro.core import (
+    FedSZCompressor,
+    FedSZConfig,
+    IdentityCodec,
+    compress_state_dict,
+    decompress_state_dict,
+    deserialize_named_arrays,
+    roundtrip_state_dict,
+    serialize_named_arrays,
+)
+from repro.core.serializer import build_fedsz_payload, parse_fedsz_payload
+from repro.nn.models import create_model
+
+
+@pytest.fixture(scope="module")
+def tiny_state():
+    return create_model("alexnet", "tiny", num_classes=10, seed=3).state_dict()
+
+
+@pytest.fixture(scope="module")
+def mobilenet_state():
+    return create_model("mobilenetv2", "tiny", num_classes=10, seed=3).state_dict()
+
+
+# ----------------------------------------------------------------------
+# Serializer
+# ----------------------------------------------------------------------
+def test_named_array_serialization_roundtrip(tiny_state):
+    payload = serialize_named_arrays(tiny_state)
+    restored = deserialize_named_arrays(payload)
+    assert set(restored) == set(tiny_state)
+    for name in tiny_state:
+        np.testing.assert_array_equal(restored[name], tiny_state[name])
+        assert restored[name].dtype == tiny_state[name].dtype
+
+
+def test_fedsz_payload_framing_roundtrip():
+    header = {"lossy_compressor": "sz2", "error_bound": 1e-2}
+    payload = build_fedsz_payload(header, {"a.weight": b"\x01\x02"}, b"lossless-bytes")
+    parsed_header, lossy, lossless = parse_fedsz_payload(payload)
+    assert parsed_header["lossy_compressor"] == "sz2"
+    assert parsed_header["format_version"] == 1
+    assert lossy == {"a.weight": b"\x01\x02"}
+    assert lossless == b"lossless-bytes"
+
+
+def test_fedsz_payload_rejects_missing_sections():
+    with pytest.raises(CorruptPayloadError):
+        parse_fedsz_payload(serialize_named_arrays({"x": np.zeros(3)}))
+
+
+def test_fedsz_payload_rejects_corrupt_header():
+    payload = build_fedsz_payload({"x": 1}, {}, b"")
+    with pytest.raises(CorruptPayloadError):
+        parse_fedsz_payload(payload[: len(payload) // 2])
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+def test_pipeline_roundtrip_preserves_keys_shapes_dtypes(tiny_state):
+    restored, report = roundtrip_state_dict(tiny_state, FedSZConfig(error_bound=1e-2))
+    assert set(restored) == set(tiny_state)
+    for name, tensor in tiny_state.items():
+        assert restored[name].shape == tensor.shape
+        assert restored[name].dtype == tensor.dtype
+    assert report.ratio > 1.0
+    assert report.decompress_seconds is not None
+
+
+def test_pipeline_respects_relative_error_bound(tiny_state):
+    config = FedSZConfig(error_bound=1e-2)
+    restored, _ = roundtrip_state_dict(tiny_state, config)
+    for name, tensor in tiny_state.items():
+        if "weight" in name and tensor.size > config.partition_threshold:
+            value_range = float(tensor.max() - tensor.min())
+            max_error = float(np.max(np.abs(restored[name] - tensor)))
+            assert max_error <= 1e-2 * value_range * 1.01 + 1e-7, name
+        else:
+            np.testing.assert_array_equal(restored[name], tensor)
+
+
+def test_pipeline_lossless_partition_is_bit_exact(mobilenet_state):
+    restored, _ = roundtrip_state_dict(mobilenet_state, FedSZConfig(error_bound=1e-1))
+    for name, tensor in mobilenet_state.items():
+        if "running_" in name or "num_batches" in name or "bias" in name:
+            np.testing.assert_array_equal(restored[name], tensor)
+
+
+def test_pipeline_report_accounting(tiny_state):
+    payload, report = compress_state_dict(tiny_state, FedSZConfig())
+    assert report.compressed_nbytes == len(payload)
+    assert report.original_nbytes == sum(v.nbytes for v in tiny_state.values())
+    assert report.lossy_tensor_count + report.lossless_tensor_count == len(tiny_state)
+    assert report.lossy_original_nbytes + report.lossless_original_nbytes == report.original_nbytes
+    assert set(report.per_tensor_ratio) == {
+        name
+        for name, value in tiny_state.items()
+        if "weight" in name and value.size > 1024
+    }
+    row = report.as_row()
+    assert row["ratio"] == pytest.approx(report.ratio)
+
+
+def test_larger_error_bound_gives_smaller_payload(tiny_state):
+    loose, _ = compress_state_dict(tiny_state, FedSZConfig(error_bound=1e-1))
+    tight, _ = compress_state_dict(tiny_state, FedSZConfig(error_bound=1e-4))
+    assert len(loose) < len(tight)
+
+
+@pytest.mark.parametrize("compressor", ["sz2", "sz3", "szx", "zfp"])
+def test_pipeline_works_with_every_eblc(tiny_state, compressor):
+    config = FedSZConfig(error_bound=1e-2, lossy_compressor=compressor)
+    restored, report = roundtrip_state_dict(tiny_state, config)
+    assert set(restored) == set(tiny_state)
+    assert report.ratio > 1.0
+
+
+@pytest.mark.parametrize("lossless", ["blosc-lz", "zstd", "gzip", "zlib", "xz"])
+def test_pipeline_works_with_every_lossless_codec(mobilenet_state, lossless):
+    config = FedSZConfig(error_bound=1e-2, lossless_compressor=lossless)
+    restored, _ = roundtrip_state_dict(mobilenet_state, config)
+    for name, tensor in mobilenet_state.items():
+        if "running_" in name:
+            np.testing.assert_array_equal(restored[name], tensor)
+
+
+def test_pipeline_absolute_bound_mode(tiny_state):
+    config = FedSZConfig(error_bound=1e-3, error_bound_mode=ErrorBoundMode.ABS)
+    restored, _ = roundtrip_state_dict(tiny_state, config)
+    for name, tensor in tiny_state.items():
+        if "weight" in name and tensor.size > config.partition_threshold:
+            assert float(np.max(np.abs(restored[name] - tensor))) <= 1e-3 * 1.01 + 1e-7
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FedSZConfig(error_bound=0.0)
+    with pytest.raises(ValueError):
+        FedSZConfig(partition_threshold=-1)
+    assert "sz2" in FedSZConfig().describe()
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def test_fedsz_compressor_end_to_end(tiny_state):
+    codec = FedSZCompressor(error_bound=1e-2)
+    payload = codec.compress(tiny_state)
+    restored = codec.decompress(payload)
+    assert set(restored) == set(tiny_state)
+    report = codec.report()
+    assert report.ratio > 1.5
+    assert codec.last_report is report
+
+
+def test_fedsz_compressor_report_before_use_raises():
+    with pytest.raises(RuntimeError):
+        FedSZCompressor().report()
+
+
+def test_fedsz_compressor_worthwhile_decision(tiny_state):
+    codec = FedSZCompressor(error_bound=1e-2)
+    codec.compress(tiny_state)
+    slow_link = codec.is_worthwhile(bandwidth_mbps=1.0)
+    assert slow_link.worthwhile
+
+
+def test_fedsz_compression_errors_population(tiny_state):
+    codec = FedSZCompressor(error_bound=1e-2)
+    restored = codec.decompress(codec.compress(tiny_state))
+    errors = codec.compression_errors(tiny_state, restored)
+    assert errors.size > 1000
+    assert np.abs(errors).max() > 0
+
+
+def test_fedsz_from_config(tiny_state):
+    config = FedSZConfig(error_bound=5e-3, lossy_compressor="sz3")
+    codec = FedSZCompressor.from_config(config)
+    assert codec.config is config
+    codec.compress(tiny_state)
+    assert codec.report().ratio > 1.0
+
+
+def test_identity_codec_roundtrip(tiny_state):
+    codec = IdentityCodec()
+    payload = codec.compress(tiny_state)
+    restored = codec.decompress(payload)
+    for name in tiny_state:
+        np.testing.assert_array_equal(restored[name], tiny_state[name])
+    assert codec.last_report.ratio == pytest.approx(1.0, rel=0.05)

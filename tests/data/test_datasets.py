@@ -1,0 +1,113 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_DATASET_SPECS,
+    PAPER_DATASETS,
+    dataset_spec,
+    load_dataset,
+    make_synthetic_dataset,
+)
+from repro.data.datasets import SyntheticImageDataset
+
+
+def test_paper_dataset_specs_match_table4():
+    cifar = dataset_spec("cifar10")
+    assert cifar.num_samples == 60_000
+    assert cifar.input_shape == (3, 32, 32)
+    assert cifar.num_classes == 10
+
+    fashion = dataset_spec("fashion-mnist")
+    assert fashion.num_samples == 70_000
+    assert fashion.input_shape == (1, 28, 28)
+    assert fashion.num_classes == 10
+
+    caltech = dataset_spec("caltech101")
+    assert caltech.num_samples == 9_000
+    assert caltech.input_shape == (3, 224, 224)
+    assert caltech.num_classes == 101
+
+
+def test_paper_datasets_tuple_covers_all_specs():
+    assert set(PAPER_DATASETS) == set(PAPER_DATASET_SPECS)
+
+
+def test_dataset_spec_row_format():
+    row = dataset_spec("cifar10").as_row()
+    assert row["input_dimension"] == "32 x 32"
+    assert set(row) == {"dataset", "samples", "input_dimension", "classes"}
+
+
+def test_dataset_spec_unknown_name():
+    with pytest.raises(ValueError):
+        dataset_spec("imagenet")
+
+
+def test_load_dataset_respects_channels_and_classes():
+    data = load_dataset("fashion-mnist", num_samples=128, image_size=16, seed=0)
+    assert data.input_shape == (1, 16, 16)
+    assert data.num_classes == 10
+    assert len(data) == 128
+    caltech = load_dataset("caltech101", num_samples=64, image_size=16, seed=0)
+    assert caltech.num_classes == 101
+    assert caltech.input_shape == (3, 16, 16)
+
+
+def test_load_dataset_default_resolution_matches_spec():
+    data = load_dataset("cifar10", num_samples=32, seed=0)
+    assert data.input_shape == (3, 32, 32)
+
+
+def test_dataset_generation_is_deterministic():
+    a = load_dataset("cifar10", num_samples=64, image_size=8, seed=7)
+    b = load_dataset("cifar10", num_samples=64, image_size=8, seed=7)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_different_seeds_produce_different_data():
+    a = load_dataset("cifar10", num_samples=64, image_size=8, seed=1)
+    b = load_dataset("cifar10", num_samples=64, image_size=8, seed=2)
+    assert not np.array_equal(a.images, b.images)
+
+
+def test_classes_are_separable_by_prototype():
+    """Same-class samples must be closer to their class mean than to others."""
+    data = make_synthetic_dataset("toy", 400, (3, 8, 8), num_classes=4, noise_scale=0.3, seed=0)
+    means = np.stack([data.images[data.labels == c].mean(axis=0) for c in range(4)])
+    correct = 0
+    for image, label in zip(data.images, data.labels):
+        distances = ((means - image) ** 2).sum(axis=(1, 2, 3))
+        correct += int(np.argmin(distances) == label)
+    assert correct / len(data) > 0.9
+
+
+def test_make_synthetic_dataset_validation():
+    with pytest.raises(ValueError):
+        make_synthetic_dataset("bad", 0, (3, 8, 8), 4)
+    with pytest.raises(ValueError):
+        make_synthetic_dataset("bad", 10, (3, 8, 8), 1)
+
+
+def test_subset_and_split():
+    data = load_dataset("cifar10", num_samples=100, image_size=8, seed=0)
+    subset = data.subset(np.arange(10))
+    assert len(subset) == 10
+    train, val = data.split(0.8, seed=0)
+    assert len(train) == 80
+    assert len(val) == 20
+    with pytest.raises(ValueError):
+        data.split(1.5)
+
+
+def test_dataset_getitem_and_mismatch():
+    data = load_dataset("cifar10", num_samples=16, image_size=8, seed=0)
+    image, label = data[3]
+    assert image.shape == (3, 8, 8)
+    assert 0 <= label < 10
+    with pytest.raises(ValueError):
+        SyntheticImageDataset("bad", np.zeros((4, 1, 2, 2)), np.zeros(3), 2)

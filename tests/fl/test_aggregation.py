@@ -1,0 +1,91 @@
+"""Tests for FedAvg aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import fedavg, state_dict_difference
+from repro.nn.models import create_model
+
+
+def test_fedavg_uniform_average():
+    states = [
+        {"w": np.array([1.0, 2.0], dtype=np.float32)},
+        {"w": np.array([3.0, 4.0], dtype=np.float32)},
+    ]
+    result = fedavg(states)
+    np.testing.assert_allclose(result["w"], [2.0, 3.0])
+
+
+def test_fedavg_weighted_by_sample_counts():
+    states = [
+        {"w": np.array([0.0], dtype=np.float32)},
+        {"w": np.array([10.0], dtype=np.float32)},
+    ]
+    result = fedavg(states, client_weights=[1, 3])
+    np.testing.assert_allclose(result["w"], [7.5])
+
+
+def test_fedavg_preserves_dtypes_and_rounds_integers():
+    states = [
+        {"count": np.array(3, dtype=np.int64), "w": np.ones(2, dtype=np.float32)},
+        {"count": np.array(4, dtype=np.int64), "w": np.zeros(2, dtype=np.float32)},
+    ]
+    result = fedavg(states)
+    assert result["count"].dtype == np.int64
+    assert result["count"] == 4  # rint(3.5) rounds to even
+    assert result["w"].dtype == np.float32
+
+
+def test_fedavg_identity_for_single_client():
+    state = create_model("mobilenetv2", "tiny", seed=0).state_dict()
+    result = fedavg([state])
+    for name in state:
+        np.testing.assert_allclose(result[name], state[name], atol=1e-6)
+
+
+def test_fedavg_validation_errors():
+    with pytest.raises(ValueError):
+        fedavg([])
+    states = [{"w": np.zeros(2)}, {"w": np.zeros(2)}]
+    with pytest.raises(ValueError):
+        fedavg(states, client_weights=[1.0])
+    with pytest.raises(ValueError):
+        fedavg(states, client_weights=[0.0, 0.0])
+    with pytest.raises(KeyError):
+        fedavg([{"w": np.zeros(2)}, {"v": np.zeros(2)}])
+
+
+def test_fedavg_of_model_states_loads_back():
+    model = create_model("mobilenetv2", "tiny", seed=0)
+    state_a = create_model("mobilenetv2", "tiny", seed=1).state_dict()
+    state_b = create_model("mobilenetv2", "tiny", seed=2).state_dict()
+    averaged = fedavg([state_a, state_b], client_weights=[10, 30])
+    model.load_state_dict(averaged)  # shapes and dtypes must be compatible
+    name = next(k for k in averaged if k.endswith("weight"))
+    np.testing.assert_allclose(
+        averaged[name], 0.25 * state_a[name] + 0.75 * state_b[name], atol=1e-6
+    )
+
+
+def test_state_dict_difference_only_float_tensors():
+    new = {"w": np.array([2.0, 3.0]), "count": np.array(5, dtype=np.int64)}
+    old = {"w": np.array([1.0, 1.0]), "count": np.array(4, dtype=np.int64)}
+    difference = state_dict_difference(new, old)
+    assert set(difference) == {"w"}
+    np.testing.assert_allclose(difference["w"], [1.0, 2.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=8
+    ),
+)
+def test_fedavg_is_bounded_by_client_extremes(values):
+    states = [{"w": np.array([v], dtype=np.float64)} for v in values]
+    result = fedavg(states)
+    assert min(values) - 1e-9 <= result["w"][0] <= max(values) + 1e-9

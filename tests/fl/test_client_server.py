@@ -1,0 +1,99 @@
+"""Tests for the federated client and server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.fl import FLClient, FLConfig, FLServer
+from repro.nn.models import create_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("cifar10", num_samples=160, image_size=8, seed=0)
+
+
+@pytest.fixture
+def model_fn():
+    return lambda: create_model("resnet50", "tiny", num_classes=10, seed=4)
+
+
+def test_client_requires_nonempty_dataset(dataset, model_fn):
+    with pytest.raises(ValueError):
+        FLClient(0, model_fn, dataset.subset(np.array([], dtype=np.int64)), FLConfig())
+
+
+def test_client_training_returns_update(dataset, model_fn):
+    config = FLConfig(num_clients=1, rounds=1, local_epochs=1, batch_size=32, learning_rate=0.05)
+    client = FLClient(0, model_fn, dataset, config, seed=1)
+    global_state = model_fn().state_dict()
+    update = client.train(global_state)
+    assert update.client_id == 0
+    assert update.num_samples == len(dataset)
+    assert update.train_seconds > 0
+    assert np.isfinite(update.train_loss)
+    assert set(update.state_dict) == set(global_state)
+    # Training must actually move the weights away from the broadcast state.
+    moved = any(
+        not np.allclose(update.state_dict[name], global_state[name])
+        for name in global_state
+        if name.endswith("weight")
+    )
+    assert moved
+
+
+def test_client_training_starts_from_global_state(dataset, model_fn):
+    """Two different clients starting from the same global state and data
+    produce identical updates when their loaders share a seed."""
+    config = FLConfig(num_clients=1, rounds=1, batch_size=64, learning_rate=0.01, momentum=0.0)
+    global_state = model_fn().state_dict()
+    client_a = FLClient(0, model_fn, dataset, config, seed=9)
+    client_b = FLClient(1, model_fn, dataset, config, seed=9)
+    update_a = client_a.train(global_state)
+    update_b = client_b.train(global_state)
+    for name in update_a.state_dict:
+        np.testing.assert_allclose(
+            update_a.state_dict[name], update_b.state_dict[name], atol=1e-6
+        )
+
+
+def test_client_evaluate(dataset, model_fn):
+    client = FLClient(0, model_fn, dataset, FLConfig(), seed=0)
+    metrics = client.evaluate(model_fn().state_dict())
+    assert 0.0 <= metrics["accuracy"] <= 1.0
+    assert metrics["num_samples"] == len(dataset)
+
+
+def test_server_aggregate_and_evaluate(dataset, model_fn):
+    server = FLServer(model_fn, validation_dataset=dataset, eval_batch_size=64)
+    state_a = create_model("resnet50", "tiny", num_classes=10, seed=1).state_dict()
+    state_b = create_model("resnet50", "tiny", num_classes=10, seed=2).state_dict()
+    aggregated = server.aggregate([state_a, state_b], client_weights=[1, 1])
+    installed = server.global_state()
+    for name in aggregated:
+        np.testing.assert_allclose(installed[name], aggregated[name], atol=1e-6)
+    result = server.evaluate()
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.num_samples == len(dataset)
+    assert result.seconds > 0
+
+
+def test_server_evaluate_without_dataset_raises(model_fn):
+    server = FLServer(model_fn)
+    with pytest.raises(ValueError):
+        server.evaluate()
+
+
+def test_flconfig_validation():
+    with pytest.raises(ValueError):
+        FLConfig(num_clients=0)
+    with pytest.raises(ValueError):
+        FLConfig(rounds=0)
+    with pytest.raises(ValueError):
+        FLConfig(partition_strategy="random")
+    with pytest.raises(ValueError):
+        FLConfig(bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        FLConfig(learning_rate=0)

@@ -1,0 +1,109 @@
+"""Tests for the bandwidth model, the channel and the Eqn.-1 decision."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    BandwidthModel,
+    SimulatedChannel,
+    crossover_bandwidth_mbps,
+    should_compress,
+)
+
+
+def test_bandwidth_transmission_time_10mbps():
+    # 230 MB AlexNet update over 10 Mbps: 230e6 * 8 / 10e6 = 184 s.
+    link = BandwidthModel(10.0)
+    assert link.transmission_seconds(230_000_000) == pytest.approx(184.0)
+
+
+def test_bandwidth_latency_added():
+    link = BandwidthModel(100.0, latency_seconds=0.05)
+    assert link.transmission_seconds(0) == pytest.approx(0.05)
+
+
+def test_bandwidth_validation():
+    with pytest.raises(ValueError):
+        BandwidthModel(0.0)
+    with pytest.raises(ValueError):
+        BandwidthModel(10.0, latency_seconds=-1.0)
+    with pytest.raises(ValueError):
+        BandwidthModel(10.0).transmission_seconds(-5)
+
+
+def test_channel_accumulates_transfers():
+    channel = SimulatedChannel(BandwidthModel(8.0))
+    channel.send(1_000_000, description="a")
+    channel.send(b"\x00" * 500_000, description="b")
+    assert channel.total_bytes == 1_500_000
+    assert channel.total_seconds == pytest.approx(1.5)
+    assert len(channel.transfers) == 2
+    channel.reset()
+    assert channel.total_bytes == 0
+
+
+def test_decision_compression_wins_on_slow_links():
+    # AlexNet-like: 230 MB down to 18 MB with ~5 s of codec time.
+    decision = should_compress(230e6, 18.2e6, 3.2, 1.6, bandwidth_mbps=10.0)
+    assert decision.worthwhile
+    assert decision.speedup > 5.0
+    assert decision.seconds_saved > 100.0
+
+
+def test_decision_compression_loses_on_fast_links():
+    decision = should_compress(230e6, 18.2e6, 3.2, 1.6, bandwidth_mbps=10_000.0)
+    assert not decision.worthwhile
+    assert decision.seconds_saved < 0
+
+
+def test_decision_validation():
+    with pytest.raises(ValueError):
+        should_compress(-1, 10, 0.1, 0.1, 10)
+    with pytest.raises(ValueError):
+        should_compress(100, 10, -0.1, 0.1, 10)
+
+
+def test_crossover_bandwidth_matches_paper_order_of_magnitude():
+    """With Table I's Pi-5 runtimes the crossover should land in the hundreds
+    of Mbps (the paper reports ~500 Mbps for AlexNet + SZ2)."""
+    original = 230e6
+    compressed = original / 11.26  # Table I AlexNet SZ2 ratio at 1e-2
+    compress_seconds = 3.22  # Table I runtime
+    decompress_seconds = compress_seconds / 2
+    crossover = crossover_bandwidth_mbps(original, compressed, compress_seconds, decompress_seconds)
+    assert 200 < crossover < 1000
+
+
+def test_crossover_edge_cases():
+    assert crossover_bandwidth_mbps(100, 150, 1.0, 1.0) == 0.0
+    assert crossover_bandwidth_mbps(100, 50, 0.0, 0.0) == float("inf")
+
+
+def test_decision_consistent_with_crossover():
+    original, compressed, tc, td = 50e6, 10e6, 0.5, 0.25
+    crossover = crossover_bandwidth_mbps(original, compressed, tc, td)
+    below = should_compress(original, compressed, tc, td, crossover * 0.5)
+    above = should_compress(original, compressed, tc, td, crossover * 2.0)
+    assert below.worthwhile
+    assert not above.worthwhile
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    original=st.integers(min_value=1_000, max_value=10**9),
+    ratio=st.floats(min_value=1.1, max_value=100.0),
+    codec_seconds=st.floats(min_value=1e-4, max_value=100.0),
+    bandwidth=st.floats(min_value=0.1, max_value=10_000.0),
+)
+def test_decision_agrees_with_crossover_property(original, ratio, codec_seconds, bandwidth):
+    compressed = int(original / ratio)
+    crossover = crossover_bandwidth_mbps(original, compressed, codec_seconds, codec_seconds)
+    decision = should_compress(original, compressed, codec_seconds, codec_seconds, bandwidth)
+    if bandwidth < crossover * 0.999:
+        assert decision.worthwhile
+    elif bandwidth > crossover * 1.001:
+        assert not decision.worthwhile

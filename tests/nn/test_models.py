@@ -1,0 +1,162 @@
+"""Tests for the model zoo and the profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, SGD, count_flops, lossy_fraction, profile_model
+from repro.nn.models import (
+    PAPER_MODELS,
+    available_models,
+    create_model,
+    synthetic_pretrained_weights,
+)
+from repro.nn.models.mobilenetv2 import InvertedResidual, _make_divisible
+from repro.nn.models.resnet import BasicBlock, Bottleneck, ResNet
+
+
+@pytest.mark.parametrize("name", ["alexnet", "mobilenetv2", "resnet50"])
+def test_tiny_models_forward_shape(name):
+    model = create_model(name, "tiny", num_classes=7, seed=0)
+    logits = model.eval()(np.random.default_rng(0).normal(size=(2, 3, 16, 16)).astype(np.float32))
+    assert logits.shape == (2, 7)
+
+
+@pytest.mark.parametrize("name", ["alexnet", "mobilenetv2", "resnet50"])
+def test_tiny_models_backward_runs(name):
+    model = create_model(name, "tiny", num_classes=4, seed=0)
+    model.train()
+    inputs = np.random.default_rng(1).normal(size=(4, 3, 16, 16)).astype(np.float32)
+    targets = np.array([0, 1, 2, 3])
+    loss_fn = CrossEntropyLoss()
+    loss_fn(model(inputs), targets)
+    model.backward(loss_fn.backward())
+    grads = [p.grad for p in model.parameters() if p.grad is not None]
+    assert len(grads) > 0
+    assert all(np.all(np.isfinite(g)) for g in grads)
+
+
+@pytest.mark.parametrize("name", ["mobilenetv2", "resnet50"])
+def test_tiny_models_can_learn_separable_data(name):
+    model = create_model(name, "tiny", num_classes=2, seed=3)
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(32, 3, 16, 16)).astype(np.float32)
+    targets = rng.integers(0, 2, 32)
+    inputs += targets[:, None, None, None].astype(np.float32) * 1.0
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    loss_fn = CrossEntropyLoss()
+    model.train()
+    losses = []
+    for _ in range(6):
+        optimizer.zero_grad()
+        loss = loss_fn(model(inputs), targets)
+        model.backward(loss_fn.backward())
+        optimizer.step()
+        losses.append(loss)
+    assert losses[-1] < losses[0]
+
+
+def test_unknown_model_name_rejected():
+    with pytest.raises(ValueError):
+        create_model("vgg16")
+    with pytest.raises(ValueError):
+        create_model("alexnet", variant="gigantic")
+
+
+def test_available_models_covers_paper_set():
+    assert set(PAPER_MODELS) <= set(available_models())
+
+
+def test_paper_alexnet_parameter_count_matches_table3():
+    model = create_model("alexnet", "paper", num_classes=1000, seed=0)
+    # torchvision AlexNet: 61.1 M parameters, ~230 MB of float32 state.
+    assert model.num_parameters() == pytest.approx(61.1e6, rel=0.02)
+    assert model.state_nbytes() == pytest.approx(244e6, rel=0.02)
+    assert lossy_fraction(model) > 0.999  # Table III: 99.98 % lossy data
+
+
+def test_paper_mobilenetv2_parameter_count_matches_table3():
+    model = create_model("mobilenetv2", "paper", num_classes=1000, seed=0)
+    # torchvision MobileNetV2: ~3.5 M parameters, ~14 MB state dict.
+    assert model.num_parameters() == pytest.approx(3.5e6, rel=0.03)
+    fraction = lossy_fraction(model)
+    assert 0.95 < fraction < 0.985  # Table III: 96.94 %
+
+
+def test_paper_resnet50_parameter_count():
+    model = create_model("resnet50", "paper", num_classes=1000, seed=0)
+    # Standard ResNet-50: ~25.6 M parameters.
+    assert model.num_parameters() == pytest.approx(25.6e6, rel=0.03)
+    assert lossy_fraction(model) > 0.99  # Table III: 99.47 %
+
+
+def test_model_seed_reproducibility():
+    state_a = create_model("mobilenetv2", "tiny", seed=11).state_dict()
+    state_b = create_model("mobilenetv2", "tiny", seed=11).state_dict()
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name])
+
+
+def test_different_seeds_give_different_weights():
+    state_a = create_model("mobilenetv2", "tiny", seed=1).state_dict()
+    state_b = create_model("mobilenetv2", "tiny", seed=2).state_dict()
+    assert any(not np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+
+def test_make_divisible_rounds_to_multiples_of_eight():
+    assert _make_divisible(32 * 1.0) == 32
+    assert _make_divisible(24 * 0.75) == 24
+    assert _make_divisible(17) % 8 == 0
+
+
+def test_inverted_residual_uses_skip_connection_only_when_shapes_match():
+    with_skip = InvertedResidual(16, 16, stride=1, expand_ratio=4)
+    without_skip = InvertedResidual(16, 24, stride=2, expand_ratio=4)
+    assert with_skip.use_residual
+    assert not without_skip.use_residual
+
+
+def test_inverted_residual_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        InvertedResidual(8, 8, stride=3, expand_ratio=2)
+
+
+def test_resnet_block_expansions():
+    assert BasicBlock.expansion == 1
+    assert Bottleneck.expansion == 4
+
+
+def test_resnet18_block_count():
+    model = ResNet.resnet18(num_classes=10)
+    bottleneck_count = sum(isinstance(m, BasicBlock) for _, m in model.named_modules())
+    assert bottleneck_count == 8
+
+
+def test_resnet50_uses_bottlenecks():
+    model = ResNet.resnet50(num_classes=10)
+    bottleneck_count = sum(isinstance(m, Bottleneck) for _, m in model.named_modules())
+    assert bottleneck_count == 16  # 3 + 4 + 6 + 3
+
+
+def test_count_flops_scales_with_input_size():
+    model = create_model("resnet50", "tiny", seed=0)
+    small = count_flops(model, (3, 16, 16))
+    large = count_flops(model, (3, 32, 32))
+    assert large > 3 * small
+
+
+def test_profile_model_row_has_table3_columns():
+    model = create_model("mobilenetv2", "tiny", seed=0)
+    profile = profile_model(model, "mobilenetv2-tiny", (3, 16, 16))
+    row = profile.as_row()
+    assert set(row) == {"model", "parameters", "size_mb", "lossy_data_percent", "flops_g"}
+    assert row["parameters"] == model.num_parameters()
+
+
+def test_synthetic_pretrained_weights_are_spiky():
+    weights = synthetic_pretrained_weights("alexnet", num_values=100_000, seed=0)
+    assert weights.dtype == np.float32
+    # Dense near zero, but with a long tail of outliers.
+    assert np.percentile(np.abs(weights), 95) < 0.1
+    assert np.abs(weights).max() > 0.5

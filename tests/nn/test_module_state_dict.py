@@ -1,0 +1,130 @@
+"""Tests for the Module / Parameter / state_dict machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, Parameter, ReLU, Sequential
+
+
+class _TinyNet(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self.features = Sequential(
+            Conv2d(3, 4, 3, padding=1, bias=False),
+            BatchNorm2d(4),
+            ReLU(),
+        )
+        self.classifier = Linear(4, 2)
+
+    def forward(self, inputs):
+        hidden = self.features(inputs)
+        return self.classifier(hidden.mean(axis=(2, 3)))
+
+
+def test_parameter_shape_and_grad_accumulation():
+    parameter = Parameter(np.zeros((2, 3)))
+    parameter.accumulate_grad(np.ones((2, 3)))
+    parameter.accumulate_grad(np.ones((2, 3)))
+    np.testing.assert_array_equal(parameter.grad, 2 * np.ones((2, 3)))
+    parameter.zero_grad()
+    assert parameter.grad is None
+
+
+def test_parameter_rejects_mismatched_grad():
+    parameter = Parameter(np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        parameter.accumulate_grad(np.ones((3, 2)))
+
+
+def test_named_parameters_use_dotted_paths():
+    net = _TinyNet()
+    names = [name for name, _ in net.named_parameters()]
+    assert "features.0.weight" in names
+    assert "features.1.weight" in names  # BatchNorm gamma
+    assert "classifier.weight" in names
+    assert "classifier.bias" in names
+
+
+def test_state_dict_includes_buffers():
+    net = _TinyNet()
+    state = net.state_dict()
+    assert "features.1.running_mean" in state
+    assert "features.1.running_var" in state
+    assert "features.1.num_batches_tracked" in state
+    # Every entry is a numpy array copy, not a live view.
+    state["classifier.weight"][...] = 123.0
+    assert not np.allclose(net.classifier.weight.data, 123.0)
+
+
+def test_state_dict_roundtrip_restores_exactly(rng):
+    net_a = _TinyNet()
+    net_b = _TinyNet()
+    state = net_a.state_dict()
+    net_b.load_state_dict(state)
+    for name, value in net_b.state_dict().items():
+        np.testing.assert_array_equal(value, state[name])
+
+
+def test_load_state_dict_strict_detects_missing_and_unexpected():
+    net = _TinyNet()
+    state = net.state_dict()
+    state.pop("classifier.bias")
+    with pytest.raises(KeyError):
+        net.load_state_dict(state)
+    state = net.state_dict()
+    state["not.a.parameter"] = np.zeros(3)
+    with pytest.raises(KeyError):
+        net.load_state_dict(state)
+    # Non-strict loading tolerates both.
+    net.load_state_dict(state, strict=False)
+
+
+def test_load_state_dict_rejects_shape_mismatch():
+    net = _TinyNet()
+    state = net.state_dict()
+    state["classifier.weight"] = np.zeros((5, 5), dtype=np.float32)
+    with pytest.raises(ValueError):
+        net.load_state_dict(state)
+
+
+def test_train_eval_mode_propagates():
+    net = _TinyNet()
+    net.eval()
+    assert not net.training
+    assert not net.features[1].training
+    net.train()
+    assert net.features[1].training
+
+
+def test_zero_grad_clears_all_parameters(rng):
+    net = _TinyNet()
+    for parameter in net.parameters():
+        parameter.accumulate_grad(np.ones_like(parameter.data))
+    net.zero_grad()
+    assert all(parameter.grad is None for parameter in net.parameters())
+
+
+def test_num_parameters_and_state_nbytes():
+    net = _TinyNet()
+    expected = sum(p.size for p in net.parameters())
+    assert net.num_parameters() == expected
+    assert net.state_nbytes() == sum(v.nbytes for v in net.state_dict().values())
+
+
+def test_setattr_before_init_raises():
+    class Broken(Module):
+        def __init__(self):
+            self.weight = Parameter(np.zeros(3))  # missing super().__init__()
+
+    with pytest.raises(AttributeError):
+        Broken()
+
+
+def test_sequential_indexing_and_append():
+    seq = Sequential(ReLU())
+    assert len(seq) == 1
+    seq.append(ReLU())
+    assert len(seq) == 2
+    assert isinstance(seq[1], ReLU)

@@ -1,0 +1,149 @@
+"""Tests for the compression-error / differential-privacy analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import create_model, synthetic_pretrained_weights
+from repro.privacy import (
+    analyze_array_errors,
+    analyze_state_dict_errors,
+    compression_errors_for_array,
+    equivalent_epsilon,
+    error_histogram,
+    fit_laplace,
+    laplace_density,
+    laplace_mechanism,
+    perturb_state_dict_with_laplace,
+)
+
+
+@pytest.fixture(scope="module")
+def weights():
+    return synthetic_pretrained_weights("alexnet", num_values=60_000, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Laplace fitting
+# ----------------------------------------------------------------------
+def test_fit_recovers_known_laplace_parameters(rng):
+    sample = rng.laplace(0.02, 0.05, 50_000)
+    fit = fit_laplace(sample)
+    assert fit.location == pytest.approx(0.02, abs=0.005)
+    assert fit.scale == pytest.approx(0.05, rel=0.05)
+    assert fit.closer_to_laplace_than_normal
+    assert fit.sample_size == 50_000
+
+
+def test_fit_distinguishes_gaussian_from_laplace(rng):
+    gaussian = rng.normal(0.0, 1.0, 50_000)
+    fit = fit_laplace(gaussian)
+    assert not fit.closer_to_laplace_than_normal
+
+
+def test_fit_requires_minimum_samples():
+    with pytest.raises(ValueError):
+        fit_laplace(np.zeros(3))
+
+
+def test_error_histogram_is_a_density(rng):
+    sample = rng.laplace(0.0, 0.1, 10_000)
+    histogram = error_histogram(sample, bins=41)
+    widths = np.diff(histogram["edges"])
+    assert np.sum(histogram["density"] * widths) == pytest.approx(1.0, rel=1e-6)
+    assert histogram["centers"].shape == histogram["density"].shape
+
+
+def test_laplace_density_integrates_to_one():
+    x = np.linspace(-2, 2, 20_001)
+    density = laplace_density(x, 0.0, 0.1)
+    assert np.trapezoid(density, x) == pytest.approx(1.0, rel=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Compression errors (Figure 10)
+# ----------------------------------------------------------------------
+def test_compression_errors_are_bounded_and_centered(weights):
+    errors = compression_errors_for_array(weights, 0.05, compressor="sz2")
+    value_range = float(weights.max() - weights.min())
+    assert np.abs(errors).max() <= 0.05 * value_range * 1.01
+    # The zero-anchored quantization grid keeps the error population centred.
+    assert abs(float(np.mean(errors))) < 0.05 * value_range * 0.2
+
+
+def test_error_scale_grows_with_bound(weights):
+    distributions = analyze_array_errors(weights, [0.05, 0.1, 0.5], compressor="sz2")
+    scales = [d.fit.scale for d in distributions]
+    assert scales[0] < scales[1] < scales[2]
+    rows = [d.as_row() for d in distributions]
+    assert all({"laplace_scale", "ks_laplace", "max_abs_error"} <= set(row) for row in rows)
+
+
+def test_errors_resemble_laplace_more_than_normal(weights):
+    """The Figure 10 observation: SZ2 error histograms look Laplacian."""
+    distribution = analyze_array_errors(weights, [0.1], compressor="sz2")[0]
+    assert distribution.fit.closer_to_laplace_than_normal
+
+
+def test_state_dict_error_analysis():
+    state = create_model("alexnet", "tiny", num_classes=10, seed=0).state_dict()
+    distribution = analyze_state_dict_errors(state, error_bound=1e-2)
+    assert distribution.errors.size > 1000
+    assert distribution.max_abs_error > 0
+    histogram = distribution.histogram(bins=21)
+    assert histogram["density"].size == 21
+
+
+# ----------------------------------------------------------------------
+# Differential-privacy scaffolding
+# ----------------------------------------------------------------------
+def test_laplace_mechanism_noise_scale(rng):
+    values = np.zeros(200_000)
+    noisy = laplace_mechanism(values, sensitivity=1.0, epsilon=2.0, rng=rng)
+    # Laplace(b = Δ/ε = 0.5) has standard deviation sqrt(2) * b.
+    assert np.std(noisy) == pytest.approx(np.sqrt(2) * 0.5, rel=0.02)
+
+
+def test_laplace_mechanism_validation():
+    with pytest.raises(ValueError):
+        laplace_mechanism(np.zeros(3), sensitivity=0.0, epsilon=1.0)
+    with pytest.raises(ValueError):
+        laplace_mechanism(np.zeros(3), sensitivity=1.0, epsilon=0.0)
+
+
+def test_equivalent_epsilon_inverse_relationship(rng):
+    small_noise = rng.laplace(0.0, 0.01, 20_000)
+    large_noise = rng.laplace(0.0, 0.1, 20_000)
+    small = equivalent_epsilon(small_noise, sensitivity=1.0)
+    large = equivalent_epsilon(large_noise, sensitivity=1.0)
+    assert small.epsilon > large.epsilon  # less noise => weaker (larger-ε) privacy
+    assert large.epsilon == pytest.approx(10.0, rel=0.1)
+    assert {"noise_scale", "sensitivity", "epsilon"} == set(small.as_row())
+
+
+def test_equivalent_epsilon_validation(rng):
+    with pytest.raises(ValueError):
+        equivalent_epsilon(rng.laplace(0, 0.1, 100), sensitivity=0.0)
+
+
+def test_perturb_state_dict_with_laplace():
+    state = create_model("mobilenetv2", "tiny", num_classes=10, seed=0).state_dict()
+    perturbed = perturb_state_dict_with_laplace(state, noise_scale=0.01, seed=1)
+    assert set(perturbed) == set(state)
+    float_changed = [
+        name
+        for name, tensor in state.items()
+        if np.issubdtype(tensor.dtype, np.floating)
+        and not np.allclose(perturbed[name], tensor)
+    ]
+    assert float_changed
+    for name, tensor in state.items():
+        if np.issubdtype(tensor.dtype, np.integer):
+            np.testing.assert_array_equal(perturbed[name], tensor)
+    # Zero scale is a no-op.
+    unchanged = perturb_state_dict_with_laplace(state, noise_scale=0.0)
+    for name in state:
+        np.testing.assert_array_equal(unchanged[name], state[name])
+    with pytest.raises(ValueError):
+        perturb_state_dict_with_laplace(state, noise_scale=-1.0)

@@ -1,0 +1,58 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import available_experiments, build_parser, main, run_experiment
+
+
+def test_available_experiments_cover_all_tables_and_figures():
+    names = available_experiments()
+    assert {"table1", "table2", "table3", "table4", "table5"} <= set(names)
+    assert {f"figure{i}" for i in range(2, 11)} <= set(names)
+    assert len(names) == 14
+
+
+def test_run_experiment_quick_mode_returns_rows():
+    result = run_experiment("figure3", quick=True)
+    assert result.rows
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_cli_list_command(capsys):
+    assert main(["list"]) == 0
+    captured = capsys.readouterr()
+    assert "table1" in captured.out
+    assert "figure10" in captured.out
+
+
+def test_cli_run_prints_table(capsys):
+    assert main(["run", "table4", "--quick"]) == 0
+    captured = capsys.readouterr()
+    assert "CIFAR-10" in captured.out
+    assert "Caltech101" in captured.out
+
+
+def test_cli_run_unknown_experiment_errors(capsys):
+    assert main(["run", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_run_writes_output_file(tmp_path, capsys):
+    destination = tmp_path / "figure3.txt"
+    assert main(["run", "figure3", "--quick", "--output", str(destination)]) == 0
+    assert destination.exists()
+    assert "mobilenetv2" in destination.read_text()
+
+
+def test_cli_output_directory_mode(tmp_path):
+    assert main(["run", "table4", "--quick", "--output", str(tmp_path / "results")]) == 0
+    assert (tmp_path / "results" / "table4.txt").exists()
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

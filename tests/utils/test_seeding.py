@@ -1,0 +1,48 @@
+"""Tests for deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seeding import SeedSequenceFactory, default_rng, get_global_seed, set_global_seed
+
+
+def test_set_global_seed_makes_default_rng_deterministic():
+    set_global_seed(7)
+    first = default_rng().normal(size=5)
+    set_global_seed(7)
+    second = default_rng().normal(size=5)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_default_rng_with_explicit_seed_ignores_global():
+    set_global_seed(1)
+    a = default_rng(123).integers(0, 1000, size=10)
+    set_global_seed(2)
+    b = default_rng(123).integers(0, 1000, size=10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_get_global_seed_reflects_last_set():
+    set_global_seed(99)
+    assert get_global_seed() == 99
+
+
+def test_seed_factory_is_reproducible():
+    factory_a = SeedSequenceFactory(2024)
+    factory_b = SeedSequenceFactory(2024)
+    assert factory_a.spawn(5) == factory_b.spawn(5)
+
+
+def test_seed_factory_produces_distinct_seeds():
+    factory = SeedSequenceFactory(11)
+    seeds = factory.spawn(50)
+    assert len(set(seeds)) == 50
+    assert factory.spawned == 50
+
+
+def test_seed_factory_rngs_are_independent():
+    factory = SeedSequenceFactory(5)
+    rng_a = factory.next_rng()
+    rng_b = factory.next_rng()
+    assert not np.allclose(rng_a.normal(size=8), rng_b.normal(size=8))

@@ -1,0 +1,49 @@
+"""Tests for timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Stopwatch, Timer, timed
+
+
+def test_timer_accumulates_measurements():
+    timer = Timer()
+    with timer.measure("work"):
+        time.sleep(0.001)
+    with timer.measure("work"):
+        time.sleep(0.001)
+    assert timer.total("work") >= 0.002
+    assert timer.counts["work"] == 2
+    assert timer.mean("work") >= 0.001
+
+
+def test_timer_unknown_label_is_zero():
+    timer = Timer()
+    assert timer.total("missing") == 0.0
+    assert timer.mean("missing") == 0.0
+
+
+def test_timer_reset_clears_state():
+    timer = Timer()
+    timer.add("x", 1.0)
+    timer.reset()
+    assert timer.as_dict() == {}
+
+
+def test_stopwatch_laps_and_elapsed():
+    watch = Stopwatch()
+    time.sleep(0.001)
+    first = watch.lap()
+    time.sleep(0.001)
+    second = watch.lap()
+    assert first > 0.0
+    assert second > 0.0
+    assert watch.elapsed() >= first + second
+    assert len(watch.laps) == 2
+
+
+def test_timed_returns_result_and_duration():
+    result, seconds = timed(sum, [1, 2, 3])
+    assert result == 6
+    assert seconds >= 0.0

@@ -1,0 +1,41 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import ensure_in, ensure_positive, ensure_probability, ensure_type
+
+
+def test_ensure_positive_accepts_positive():
+    assert ensure_positive(0.5, "x") == 0.5
+
+
+def test_ensure_positive_rejects_zero_when_strict():
+    with pytest.raises(ValueError, match="x"):
+        ensure_positive(0.0, "x")
+
+
+def test_ensure_positive_allows_zero_when_not_strict():
+    assert ensure_positive(0.0, "x", strict=False) == 0.0
+    with pytest.raises(ValueError):
+        ensure_positive(-1.0, "x", strict=False)
+
+
+def test_ensure_probability_bounds():
+    assert ensure_probability(0.0, "p") == 0.0
+    assert ensure_probability(1.0, "p") == 1.0
+    with pytest.raises(ValueError):
+        ensure_probability(1.5, "p")
+
+
+def test_ensure_in_accepts_member_and_rejects_other():
+    assert ensure_in("sz2", ["sz2", "sz3"], "compressor") == "sz2"
+    with pytest.raises(ValueError):
+        ensure_in("lz4", ["sz2", "sz3"], "compressor")
+
+
+def test_ensure_type():
+    assert ensure_type(3, int, "count") == 3
+    with pytest.raises(TypeError):
+        ensure_type("3", int, "count")
