@@ -24,7 +24,7 @@ import argparse
 from repro.core import AdaptiveErrorBoundController, AdaptiveFedSZCompressor
 from repro.experiments import build_federated_setup
 from repro.experiments.reporting import render_table
-from repro.fl import FLSimulation
+from repro.fl import FederatedRuntime, ParallelExecutor
 from repro.privacy import DPFedSZCompressor
 
 
@@ -39,12 +39,20 @@ def run_adaptive(rounds: int, samples: int) -> None:
         patience=2,
     )
     codec = AdaptiveFedSZCompressor(controller)
-    simulation = FLSimulation(
-        setup.model_fn, setup.train_dataset, setup.validation_dataset, setup.config, codec=codec
+    # Drive the layered runtime directly: adaptive/DP codecs are stateful, so
+    # the parallel executor shares them behind a lock while still overlapping
+    # client training and transport.
+    runtime = FederatedRuntime(
+        setup.model_fn,
+        setup.train_dataset,
+        setup.validation_dataset,
+        setup.config,
+        codec=codec,
+        executor=ParallelExecutor(max_workers=4),
     )
     rows = []
     for _ in range(rounds):
-        record = simulation.run_round()
+        record = runtime.run_round()
         codec.observe_accuracy(record.global_accuracy)
         rows.append(
             {
@@ -64,17 +72,18 @@ def run_private(rounds: int, samples: int, epsilon: float) -> None:
     print("=== differentially-private FedSZ (Laplace mechanism + compression) ===")
     setup = build_federated_setup("resnet50", "cifar10", rounds=rounds, samples=samples, seed=22)
     codec = DPFedSZCompressor(epsilon_per_round=epsilon, clip_norm=0.5, error_bound=1e-2, seed=5)
-    history = FLSimulation(
+    history = FederatedRuntime(
         setup.model_fn, setup.train_dataset, setup.validation_dataset, setup.config, codec=codec
     ).run()
 
     baseline_setup = build_federated_setup("resnet50", "cifar10", rounds=rounds, samples=samples, seed=22)
-    baseline = FLSimulation(
+    baseline = FederatedRuntime(
         baseline_setup.model_fn,
         baseline_setup.train_dataset,
         baseline_setup.validation_dataset,
         baseline_setup.config,
         codec=None,
+        executor=ParallelExecutor(max_workers=4),
     ).run()
 
     print(f"per-round epsilon: {epsilon:g}  (noise scale {codec.noise_scale:.3f}, "

@@ -1,4 +1,4 @@
-"""Command-line interface for regenerating the paper's experiments.
+"""Command-line interface for the paper's experiments and the FL runtime.
 
 Usage::
 
@@ -6,9 +6,14 @@ Usage::
     python -m repro.cli run table1 [--output results/table1.txt]
     python -m repro.cli run figure8 --quick
     python -m repro.cli run all --quick --output results/
+    python -m repro.cli fl --scheduler semi-sync --deadline 2.0 \
+        --executor parallel --workers 4 --heterogeneous --straggler 2
 
-``--quick`` shrinks every harness's workload so a full sweep completes in a
-few minutes; without it the default benchmark-scale parameters are used.
+``run`` regenerates one of the paper's tables/figures (``--quick`` shrinks
+the workload so a full sweep completes in a few minutes).  ``fl`` drives the
+layered federated runtime directly: pick a round scheduler (sync / semi-sync
+/ async), an executor (serial / parallel) and a transport (homogeneous or a
+heterogeneous edge fleet with injected stragglers and dropout).
 """
 
 from __future__ import annotations
@@ -70,6 +75,122 @@ def _write_or_print(result: ExperimentResult, output: Optional[Path], name: str)
     print(f"wrote {destination}")
 
 
+def run_fl(
+    model: str = "resnet50",
+    dataset: str = "cifar10",
+    rounds: int = 3,
+    clients: int = 4,
+    samples: int = 400,
+    error_bound: Optional[float] = 1e-2,
+    scheduler: str = "sync",
+    deadline_seconds: float = 5.0,
+    mixing_rate: float = 0.5,
+    executor: str = "serial",
+    workers: int = 4,
+    heterogeneous: bool = False,
+    stragglers: tuple = (),
+    straggler_factor: float = 10.0,
+    dropout: float = 0.0,
+    seed: int = 0,
+):
+    """Run one federated simulation through the layered runtime.
+
+    Returns the :class:`~repro.fl.TrainingHistory`; the CLI prints its rows.
+    """
+    from repro.core import FedSZCompressor
+    from repro.experiments.workloads import build_federated_setup
+    from repro.fl import (
+        FLSimulation,
+        ParallelExecutor,
+        SerialExecutor,
+        Transport,
+        edge_fleet_specs,
+        get_scheduler,
+    )
+
+    setup = build_federated_setup(
+        model_name=model,
+        dataset_name=dataset,
+        num_clients=clients,
+        rounds=rounds,
+        samples=samples,
+        seed=seed,
+    )
+    from repro.fl.scheduler import canonical_scheduler_name
+
+    codec = None if error_bound is None else FedSZCompressor(error_bound=error_bound)
+    scheduler_kwargs = {}
+    canonical = canonical_scheduler_name(scheduler)
+    if canonical == "semi-sync":
+        scheduler_kwargs["deadline_seconds"] = deadline_seconds
+    elif canonical == "async":
+        scheduler_kwargs["mixing_rate"] = mixing_rate
+    transport = None
+    if heterogeneous or stragglers or dropout > 0:
+        transport = Transport.heterogeneous(
+            edge_fleet_specs(
+                clients,
+                straggler_ids=stragglers,
+                straggler_factor=straggler_factor,
+                dropout_probability=dropout,
+            )
+        )
+    simulation = FLSimulation(
+        setup.model_fn,
+        setup.train_dataset,
+        setup.validation_dataset,
+        setup.config,
+        codec=codec,
+        scheduler=get_scheduler(scheduler, **scheduler_kwargs),
+        executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
+        transport=transport,
+    )
+    return simulation.run()
+
+
+def _run_fl_from_args(arguments) -> "object":
+    return run_fl(
+        model=arguments.model,
+        dataset=arguments.dataset,
+        rounds=arguments.rounds,
+        clients=arguments.clients,
+        samples=arguments.samples,
+        error_bound=None if arguments.uncompressed else arguments.error_bound,
+        scheduler=arguments.scheduler,
+        deadline_seconds=arguments.deadline,
+        mixing_rate=arguments.mixing_rate,
+        executor=arguments.executor,
+        workers=arguments.workers,
+        heterogeneous=arguments.heterogeneous,
+        stragglers=tuple(arguments.straggler),
+        straggler_factor=arguments.straggler_factor,
+        dropout=arguments.dropout,
+        seed=arguments.seed,
+    )
+
+
+def _print_fl_history(history, per_client: bool) -> None:
+    from repro.experiments.reporting import render_table
+
+    rows = []
+    for record in history.records:
+        rows.append(
+            {
+                "round": record.round_index,
+                "accuracy": record.global_accuracy,
+                "uplink_mb": record.uplink_bytes / 1e6,
+                "ratio": record.mean_compression_ratio,
+                "round_seconds": record.simulated_round_seconds,
+                "stragglers": record.straggler_clients,
+                "dropped": record.dropped_clients,
+            }
+        )
+    print(render_table(rows))
+    if per_client:
+        print()
+        print(render_table(history.client_rows()))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
@@ -83,6 +204,36 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--output", type=Path, default=None, help="file (or directory for 'all') to write results to"
     )
+
+    fl_parser = subparsers.add_parser("fl", help="run a federated simulation")
+    fl_parser.add_argument("--model", default="resnet50",
+                           choices=["resnet50", "mobilenetv2", "alexnet"])
+    fl_parser.add_argument("--dataset", default="cifar10")
+    fl_parser.add_argument("--rounds", type=int, default=3)
+    fl_parser.add_argument("--clients", type=int, default=4)
+    fl_parser.add_argument("--samples", type=int, default=400)
+    fl_parser.add_argument("--error-bound", type=float, default=1e-2,
+                           help="FedSZ REL bound for the uplink codec")
+    fl_parser.add_argument("--uncompressed", action="store_true",
+                           help="ship raw updates (no codec)")
+    fl_parser.add_argument("--scheduler", default="sync",
+                           choices=["sync", "semi-sync", "async"])
+    fl_parser.add_argument("--deadline", type=float, default=5.0,
+                           help="semi-sync straggler deadline (simulated seconds)")
+    fl_parser.add_argument("--mixing-rate", type=float, default=0.5,
+                           help="async staleness-mixing rate")
+    fl_parser.add_argument("--executor", default="serial", choices=["serial", "parallel"])
+    fl_parser.add_argument("--workers", type=int, default=4)
+    fl_parser.add_argument("--heterogeneous", action="store_true",
+                           help="give each client its own edge link")
+    fl_parser.add_argument("--straggler", type=int, action="append", default=[],
+                           help="client id to turn into a straggler (repeatable)")
+    fl_parser.add_argument("--straggler-factor", type=float, default=10.0)
+    fl_parser.add_argument("--dropout", type=float, default=0.0,
+                           help="per-round update dropout probability")
+    fl_parser.add_argument("--seed", type=int, default=0)
+    fl_parser.add_argument("--per-client", action="store_true",
+                           help="also print per-client round stats")
     return parser
 
 
@@ -92,6 +243,15 @@ def main(argv: Optional[list] = None) -> int:
     if arguments.command == "list":
         for name in available_experiments():
             print(name)
+        return 0
+
+    if arguments.command == "fl":
+        try:
+            history = _run_fl_from_args(arguments)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        _print_fl_history(history, per_client=arguments.per_client)
         return 0
 
     if arguments.experiment.lower() == "all":

@@ -116,15 +116,29 @@ def evaluate_lossy(
     data: np.ndarray,
     error_bound: float,
     mode: ErrorBoundMode = ErrorBoundMode.REL,
+    timing_repeats: int = 1,
 ) -> LossyEvaluation:
-    """Run one compress/decompress cycle and collect every reported metric."""
+    """Run one compress/decompress cycle and collect every reported metric.
+
+    ``timing_repeats`` re-runs the (deterministic) codec and keeps the
+    *minimum* runtime of each direction.  Single-shot ``perf_counter``
+    measurements of sub-millisecond codecs are dominated by scheduler noise —
+    enough to flip runtime-sensitive comparisons such as Problem-1 compressor
+    selection; the min over a few repeats is the standard robust estimator.
+    """
+    if timing_repeats < 1:
+        raise ValueError(f"timing_repeats must be at least 1, got {timing_repeats}")
     data = np.asarray(data)
-    start = time.perf_counter()
-    payload = compressor.compress(data, error_bound, mode)
-    compress_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    reconstructed = compressor.decompress(payload)
-    decompress_seconds = time.perf_counter() - start
+    compress_seconds = float("inf")
+    for _ in range(timing_repeats):
+        start = time.perf_counter()
+        payload = compressor.compress(data, error_bound, mode)
+        compress_seconds = min(compress_seconds, time.perf_counter() - start)
+    decompress_seconds = float("inf")
+    for _ in range(timing_repeats):
+        start = time.perf_counter()
+        reconstructed = compressor.decompress(payload)
+        decompress_seconds = min(decompress_seconds, time.perf_counter() - start)
     return LossyEvaluation(
         compressor=compressor.name,
         error_bound=float(error_bound),

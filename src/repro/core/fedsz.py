@@ -61,6 +61,16 @@ class FedSZCompressor:
         instance.last_report = None
         return instance
 
+    def clone(self) -> "FedSZCompressor":
+        """A fresh compressor with the same configuration and no report state.
+
+        The parallel executor clones the codec once per client so concurrent
+        compressions keep independent ``last_report``s instead of clobbering a
+        shared one.  Subclasses carrying extra state must override this (the
+        default only copies the config).
+        """
+        return type(self).from_config(self.config)
+
     # ------------------------------------------------------------------
     # Codec interface (what the FL runtime calls)
     # ------------------------------------------------------------------
@@ -129,6 +139,10 @@ class IdentityCodec:
 
     def __init__(self) -> None:
         self.last_report: Optional[FedSZReport] = None
+
+    def clone(self) -> "IdentityCodec":
+        """A fresh identity codec (per-client instances in parallel rounds)."""
+        return IdentityCodec()
 
     def compress(self, state_dict: Mapping[str, np.ndarray]) -> bytes:
         from repro.core.serializer import serialize_named_arrays

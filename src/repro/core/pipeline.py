@@ -97,6 +97,19 @@ def compress_state_dict(
     partition = partition_state_dict(state_dict, config.partition_threshold)
     lossy_codec = get_lossy_compressor(config.lossy_compressor)
     for option, value in config.lossy_options.items():
+        # Only override attributes the codec actually defines — silently
+        # setattr-ing a typo ("blocksize") onto the instance would leave the
+        # intended option at its default with no error anywhere.
+        if not hasattr(lossy_codec, option):
+            valid = sorted(
+                name
+                for name in vars(lossy_codec)
+                if not name.startswith("_") and not callable(getattr(lossy_codec, name))
+            )
+            raise ValueError(
+                f"unknown option {option!r} for lossy compressor "
+                f"{config.lossy_compressor!r}; available options: {valid}"
+            )
         setattr(lossy_codec, option, value)
     lossless_codec = get_lossless_compressor(config.lossless_compressor)
 

@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence
 from repro.core import FedSZConfig, compress_state_dict
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.workloads import PAPER_MODELS, pretrained_like_state_dict
-from repro.network import estimate_communication, get_device_profile
+from repro.fl.transport import ClientLink, LinkSpec
 
 DEFAULT_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2)
 
@@ -47,7 +47,9 @@ def run_figure7(
             "error bound, against the uncompressed baseline."
         ),
     )
-    profile = get_device_profile(device) if device else None
+    # One edge client's uplink from the transport layer: the link carries the
+    # bandwidth and the device profile that models codec runtime on-client.
+    uplink = ClientLink(0, LinkSpec(bandwidth_mbps=bandwidth_mbps, device=device))
 
     for model in models:
         state = pretrained_like_state_dict(model, dataset, max_elements_per_tensor, seed)
@@ -55,7 +57,7 @@ def run_figure7(
         full_nbytes = PAPER_STATE_NBYTES.get(model, sampled_nbytes)
         scale = full_nbytes / sampled_nbytes
 
-        baseline = estimate_communication(full_nbytes, None, bandwidth_mbps)
+        baseline = uplink.estimate_upload(full_nbytes, None)
         result.add_row(
             model=model,
             error_bound=0.0,
@@ -68,13 +70,11 @@ def run_figure7(
         for bound in error_bounds:
             _, report = compress_state_dict(state, FedSZConfig(error_bound=bound))
             compressed_full = int(report.compressed_nbytes * scale)
-            estimate = estimate_communication(
+            estimate = uplink.estimate_upload(
                 full_nbytes,
                 compressed_full,
-                bandwidth_mbps,
                 compressor="sz2",
                 error_bound=bound,
-                device=profile,
                 measured_compress_seconds=report.compress_seconds * scale,
                 measured_decompress_seconds=(report.decompress_seconds or 0.0) * scale,
             )

@@ -18,7 +18,8 @@ from repro.core import FedSZConfig, compress_state_dict
 from repro.experiments.figure7_comm_time_vs_bound import PAPER_STATE_NBYTES
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.workloads import pretrained_like_state_dict
-from repro.network import crossover_bandwidth_mbps, estimate_communication, get_device_profile
+from repro.fl.transport import ClientLink, LinkSpec
+from repro.network import crossover_bandwidth_mbps, get_device_profile
 
 DEFAULT_COMPRESSORS = ("sz2", "sz3", "zfp")
 
@@ -46,7 +47,6 @@ def run_figure8(
             "compressor, against the uncompressed transfer."
         ),
     )
-    profile = get_device_profile(device) if device else None
     state = pretrained_like_state_dict(model, "cifar10", max_elements_per_tensor, seed)
     sampled_nbytes = sum(v.nbytes for v in state.values())
     full_nbytes = PAPER_STATE_NBYTES.get(model, sampled_nbytes)
@@ -60,7 +60,10 @@ def run_figure8(
         per_compressor[compressor] = report
 
     for bandwidth in bandwidths:
-        baseline = estimate_communication(full_nbytes, None, bandwidth)
+        # The sweep walks one edge client's uplink through every bandwidth;
+        # the link's device profile models on-client codec runtime.
+        uplink = ClientLink(0, LinkSpec(bandwidth_mbps=bandwidth, device=device))
+        baseline = uplink.estimate_upload(full_nbytes, None)
         result.add_row(
             compressor="original",
             bandwidth_mbps=bandwidth,
@@ -68,13 +71,11 @@ def run_figure8(
             worthwhile=False,
         )
         for compressor, report in per_compressor.items():
-            estimate = estimate_communication(
+            estimate = uplink.estimate_upload(
                 full_nbytes,
                 int(report.compressed_nbytes * scale),
-                bandwidth,
                 compressor=compressor,
                 error_bound=error_bound,
-                device=profile,
                 measured_compress_seconds=report.compress_seconds * scale,
                 measured_decompress_seconds=(report.decompress_seconds or 0.0) * scale,
             )
@@ -85,6 +86,7 @@ def run_figure8(
                 worthwhile=estimate.as_decision().worthwhile,
             )
 
+    profile = get_device_profile(device) if device else None
     for compressor, report in per_compressor.items():
         if profile is not None:
             compress_seconds = profile.compression_seconds(compressor, full_nbytes, error_bound)

@@ -1,29 +1,83 @@
-"""Federated-learning runtime (the APPFL/FedAvg stand-in).
+"""Federated-learning runtime (the APPFL/FedAvg stand-in), in three layers.
 
-Clients run local SGD on private synthetic data, the server aggregates with
-FedAvg and validates the global model, and the simulation loop routes every
-client update through a pluggable codec (FedSZ or the uncompressed baseline)
-and a bandwidth-limited simulated channel.
+The runtime separates the three concerns a real FL stack separates:
+
+* **scheduler** (:mod:`repro.fl.scheduler`) — what a round means:
+  synchronous FedAvg, semi-synchronous with a straggler deadline, or
+  asynchronous staleness-weighted mixing;
+* **executor** (:mod:`repro.fl.executor`) — how client work runs: strictly
+  sequential (:class:`SerialExecutor`) or concurrently on a thread pool
+  (:class:`ParallelExecutor`), with per-client codec instances;
+* **transport** (:mod:`repro.fl.transport`) — what each client's link looks
+  like: one shared channel or heterogeneous per-client bandwidth, latency,
+  straggler and dropout profiles, optionally backed by a device profile for
+  codec-runtime modelling.
+
+:class:`FederatedRuntime` composes the layers;
+:class:`FLSimulation` is a backwards-compatible facade whose default
+composition reproduces the original sequential simulation exactly.  Clients
+run local SGD on private synthetic data, the server aggregates and validates
+the global model, and every client update is routed through a pluggable codec
+(FedSZ or the uncompressed baseline) over its link.
 """
 
-from repro.fl.aggregation import fedavg, state_dict_difference
+from repro.fl.aggregation import fedavg, mix_states, state_dict_difference
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
-from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.executor import (
+    ClientResult,
+    ClientTask,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
+from repro.fl.runtime import FederatedRuntime, RoundContext
+from repro.fl.scheduler import (
+    AsynchronousScheduler,
+    RoundScheduler,
+    SemiSynchronousScheduler,
+    SynchronousScheduler,
+    get_scheduler,
+)
 from repro.fl.server import EvaluationResult, FLServer
 from repro.fl.simulation import FLSimulation, UpdateCodec, run_federated_training
+from repro.fl.transport import (
+    ClientLink,
+    LinkSpec,
+    Transport,
+    TransferStats,
+    edge_fleet_specs,
+)
 
 __all__ = [
     "fedavg",
+    "mix_states",
     "state_dict_difference",
     "ClientUpdate",
     "FLClient",
     "FLConfig",
+    "ClientResult",
+    "ClientTask",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ClientRoundStat",
     "RoundRecord",
     "TrainingHistory",
+    "FederatedRuntime",
+    "RoundContext",
+    "AsynchronousScheduler",
+    "RoundScheduler",
+    "SemiSynchronousScheduler",
+    "SynchronousScheduler",
+    "get_scheduler",
     "EvaluationResult",
     "FLServer",
     "FLSimulation",
     "UpdateCodec",
     "run_federated_training",
+    "ClientLink",
+    "LinkSpec",
+    "Transport",
+    "TransferStats",
+    "edge_fleet_specs",
 ]

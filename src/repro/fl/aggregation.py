@@ -61,6 +61,33 @@ def fedavg(
     return aggregated
 
 
+def mix_states(
+    base_state: Mapping[str, np.ndarray],
+    update_state: Mapping[str, np.ndarray],
+    weight: float,
+) -> Dict[str, np.ndarray]:
+    """Convex combination ``(1 - weight) * base + weight * update`` per tensor.
+
+    The asynchronous scheduler applies one client update at a time with a
+    staleness-dependent weight (FedAsync-style mixing).  Dtypes follow the
+    same convention as :func:`fedavg`: float tensors keep their dtype, integer
+    buffers are rounded back.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"mixing weight must lie in [0, 1], got {weight}")
+    mixed: Dict[str, np.ndarray] = {}
+    for key, value in base_state.items():
+        reference = np.asarray(value)
+        blended = (1.0 - weight) * np.asarray(value, dtype=np.float64) + weight * np.asarray(
+            update_state[key], dtype=np.float64
+        )
+        if np.issubdtype(reference.dtype, np.integer):
+            mixed[key] = np.rint(blended).astype(reference.dtype)
+        else:
+            mixed[key] = blended.astype(reference.dtype)
+    return mixed
+
+
 def state_dict_difference(
     new_state: Mapping[str, np.ndarray], old_state: Mapping[str, np.ndarray]
 ) -> Dict[str, np.ndarray]:

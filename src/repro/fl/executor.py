@@ -1,0 +1,134 @@
+"""Executor layer of the federated runtime.
+
+Executors decide *how* the per-round client work (local training, update
+compression, transport) runs: :class:`SerialExecutor` reproduces the seed
+simulation's strictly sequential loop, :class:`ParallelExecutor` runs clients
+concurrently on a thread pool — local training is numpy-heavy (the BLAS calls
+release the GIL) and the emulated link sleeps overlap, so an 8-client round on
+4 workers finishes in roughly the time of its two slowest clients.
+
+Results are always returned in task order regardless of completion order, and
+every client draws from its own seeded streams, so for deterministic codecs
+the executor choice never changes the simulated outcome — only the wall-clock
+time to compute it (see ``tests/fl/test_runtime_layers.py`` for the
+determinism guarantee).  The one exception is a *stochastic* shared codec
+without ``clone()`` (e.g. the DP codec, whose noise stream is consumed in
+call order): under the parallel executor, which client draws which noise
+depends on thread arrival order, so such runs are only reproducible with the
+serial executor.
+
+When a codec exposes ``clone()`` (e.g. :class:`repro.core.FedSZCompressor`),
+the parallel executor gives each client its own instance so concurrent
+compressions cannot clobber each other's ``last_report``.  Stateful codecs
+without ``clone()`` (adaptive or DP codecs, whose round counters must stay
+global) are shared behind a lock instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.transport import ClientLink, TransferStats, transmit_update
+
+
+@dataclass
+class ClientTask:
+    """One unit of round work: train a client, ship its update."""
+
+    client: FLClient
+    link: ClientLink
+    broadcast_state: Mapping[str, np.ndarray]
+    learning_rate: float
+
+
+@dataclass
+class ClientResult:
+    """Everything one client produced during a round."""
+
+    client_id: int
+    update: ClientUpdate
+    state: Optional[Dict[str, np.ndarray]]
+    stats: TransferStats
+    turnaround_seconds: float
+
+    @property
+    def delivered(self) -> bool:
+        """Did the update actually reach the server?"""
+        return self.stats.delivered and self.state is not None
+
+
+def run_client_task(task: ClientTask, codec, lock=None) -> ClientResult:
+    """Train one client on the broadcast state and transmit its update."""
+    update = task.client.train(task.broadcast_state, learning_rate=task.learning_rate)
+    state, stats = transmit_update(update.state_dict, codec, task.link, lock=lock)
+    turnaround = (
+        update.train_seconds
+        + stats.compress_seconds
+        + stats.transfer_seconds
+        + stats.decompress_seconds
+    )
+    return ClientResult(
+        client_id=update.client_id,
+        update=update,
+        state=state,
+        stats=stats,
+        turnaround_seconds=turnaround,
+    )
+
+
+class SerialExecutor:
+    """Run clients one after another — the seed simulation's behaviour."""
+
+    name = "serial"
+
+    def run_clients(self, tasks: List[ClientTask], codec=None) -> List[ClientResult]:
+        """Execute every task in order with the shared codec instance."""
+        return [run_client_task(task, codec) for task in tasks]
+
+
+class ParallelExecutor:
+    """Run clients concurrently on a thread pool.
+
+    ``max_workers`` bounds concurrency (defaults to the task count).  Codecs
+    with a ``clone()`` method get one instance per client; other codecs are
+    shared behind a lock, which serialises codec work but still overlaps
+    training and transport.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run_clients(self, tasks: List[ClientTask], codec=None) -> List[ClientResult]:
+        """Execute tasks concurrently; results come back in task order."""
+        if not tasks:
+            return []
+        cloneable = codec is not None and hasattr(codec, "clone")
+        codecs = [codec.clone() if cloneable else codec for _ in tasks]
+        lock = threading.Lock() if (codec is not None and not cloneable) else None
+
+        workers = self.max_workers or len(tasks)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(run_client_task, task, task_codec, lock)
+                for task, task_codec in zip(tasks, codecs)
+            ]
+            results = [future.result() for future in futures]
+
+        if cloneable and results:
+            # Keep the facade contract: after a round, the caller's codec
+            # reports the last participant's compression, exactly as the
+            # shared-instance serial path does.
+            last_report = results[-1].stats.report
+            if last_report is not None and hasattr(codec, "last_report"):
+                codec.last_report = last_report
+        return results

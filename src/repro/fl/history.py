@@ -1,4 +1,4 @@
-"""Round-by-round records of a federated run."""
+"""Round-by-round (and client-by-client) records of a federated run."""
 
 from __future__ import annotations
 
@@ -6,6 +6,49 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.network.timing import EpochTimeBreakdown
+
+
+@dataclass
+class ClientRoundStat:
+    """One client's contribution to one round.
+
+    Captured per participant by the executor layer, so per-client codec
+    reports are no longer clobbered by whichever client compressed last.
+    ``aggregated`` is False for stragglers cut by a semi-synchronous deadline
+    and for updates dropped in transit; ``staleness`` and ``weight`` are
+    filled in by the asynchronous scheduler's arrival-ordered mixing.
+    """
+
+    client_id: int
+    num_samples: int
+    train_loss: float
+    train_accuracy: float
+    train_seconds: float
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    payload_nbytes: int = 0
+    compression_ratio: float = 1.0
+    turnaround_seconds: float = 0.0
+    delivered: bool = True
+    aggregated: bool = True
+    staleness: int = 0
+    weight: float = 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation."""
+        return {
+            "client": self.client_id,
+            "train_loss": self.train_loss,
+            "train_seconds": self.train_seconds,
+            "compress_seconds": self.compress_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "payload_mb": self.payload_nbytes / 1e6,
+            "ratio": self.compression_ratio,
+            "turnaround_seconds": self.turnaround_seconds,
+            "delivered": self.delivered,
+            "aggregated": self.aggregated,
+        }
 
 
 @dataclass
@@ -27,6 +70,16 @@ class RoundRecord:
     downlink_bytes: int = 0
     downlink_seconds: float = 0.0
     participating_clients: int = 0
+    #: Per-client detail for this round (empty for legacy construction).
+    client_stats: List[ClientRoundStat] = field(default_factory=list)
+    #: Updates lost in transit (link dropout).
+    dropped_clients: int = 0
+    #: Delivered updates excluded from aggregation (semi-sync deadline).
+    straggler_clients: int = 0
+    #: Simulated wall-clock of the round under the active scheduler: the
+    #: slowest participant for sync, the deadline for semi-sync rounds that
+    #: had to wait out a late or lost update, the last arrival for async.
+    simulated_round_seconds: float = 0.0
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary for tabulation."""
@@ -101,6 +154,29 @@ class TrainingHistory:
             communication_seconds=sum(r.uplink_seconds for r in self.records) / count,
         )
 
+    @property
+    def total_dropped_clients(self) -> int:
+        """Total updates lost in transit over the run."""
+        return sum(record.dropped_clients for record in self.records)
+
+    @property
+    def total_straggler_clients(self) -> int:
+        """Total deadline-cut stragglers over the run."""
+        return sum(record.straggler_clients for record in self.records)
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Total simulated round time under the active scheduler."""
+        return sum(record.simulated_round_seconds for record in self.records)
+
     def as_rows(self) -> List[Dict[str, float]]:
         """Round records as flat dictionaries."""
         return [record.as_row() for record in self.records]
+
+    def client_rows(self) -> List[Dict[str, float]]:
+        """Per-client per-round stats flattened for tabulation."""
+        rows: List[Dict[str, float]] = []
+        for record in self.records:
+            for stat in record.client_stats:
+                rows.append({"round": record.round_index, **stat.as_row()})
+        return rows

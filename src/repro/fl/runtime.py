@@ -1,0 +1,254 @@
+"""The layered federated runtime: scheduler + executor + transport.
+
+:class:`FederatedRuntime` owns the server, the client population and the
+round-by-round history, and delegates the three orthogonal concerns to
+pluggable layers:
+
+* the **scheduler** (:mod:`repro.fl.scheduler`) decides what a round means —
+  synchronous FedAvg, semi-synchronous with a straggler deadline, or
+  asynchronous staleness-weighted mixing;
+* the **executor** (:mod:`repro.fl.executor`) decides how client work runs —
+  strictly sequential or concurrently on a thread pool;
+* the **transport** (:mod:`repro.fl.transport`) decides what each client's
+  link looks like — one shared channel (the seed behaviour) or heterogeneous
+  per-client bandwidth/latency/straggler/dropout profiles.
+
+The default composition (sync + serial + homogeneous) reproduces the seed
+``FLSimulation`` numbers exactly; :class:`repro.fl.FLSimulation` is now a thin
+facade over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.datasets import SyntheticImageDataset
+from repro.data.partition import partition_dataset
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.executor import ClientResult, ClientTask, SerialExecutor
+from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
+from repro.fl.scheduler import RoundScheduler, SynchronousScheduler
+from repro.fl.server import FLServer
+from repro.fl.transport import Transport
+from repro.nn.module import Module
+from repro.utils.seeding import SeedSequenceFactory
+
+
+@dataclass
+class RoundContext:
+    """Everything prepared before client execution starts."""
+
+    round_index: int
+    participants: List[FLClient]
+    broadcast_state: Dict[str, np.ndarray]
+    learning_rate: float
+    downlink_bytes: int
+    downlink_seconds: float
+    tasks: List[ClientTask] = field(default_factory=list)
+
+
+class FederatedRuntime:
+    """Composable federated training runtime (see module docstring)."""
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        train_dataset: SyntheticImageDataset,
+        validation_dataset: SyntheticImageDataset,
+        config: Optional[FLConfig] = None,
+        codec=None,
+        scheduler: Optional[RoundScheduler] = None,
+        executor=None,
+        transport: Optional[Transport] = None,
+    ) -> None:
+        self.config = config or FLConfig()
+        self.codec = codec
+        self.scheduler = scheduler or SynchronousScheduler()
+        self.executor = executor or SerialExecutor()
+
+        # Seed-derivation order matches the seed FLSimulation exactly
+        # (partition, clients, sampling) so default runs are bit-compatible;
+        # transport streams draw after and do not perturb them.
+        seeds = SeedSequenceFactory(self.config.seed)
+        client_datasets = partition_dataset(
+            train_dataset,
+            self.config.num_clients,
+            strategy=self.config.partition_strategy,
+            alpha=self.config.dirichlet_alpha,
+            seed=seeds.next_seed(),
+        )
+        self.server = FLServer(
+            model_fn, validation_dataset, eval_batch_size=self.config.eval_batch_size
+        )
+        self.clients: List[FLClient] = [
+            FLClient(client_id, model_fn, dataset, self.config, seed=seeds.next_seed())
+            for client_id, dataset in enumerate(client_datasets)
+        ]
+        self.history = TrainingHistory()
+        self._sampling_rng = np.random.default_rng(seeds.next_seed())
+
+        self.transport = transport or Transport.homogeneous(
+            bandwidth_mbps=self.config.bandwidth_mbps
+        )
+        self.transport.bind(len(self.clients), seed=seeds.next_seed())
+
+    # ------------------------------------------------------------------
+    # Round loop
+    # ------------------------------------------------------------------
+    def run(self, rounds: Optional[int] = None) -> TrainingHistory:
+        """Run ``rounds`` communication rounds (defaults to the configured count)."""
+        for _ in range(rounds if rounds is not None else self.config.rounds):
+            self.run_round()
+        return self.history
+
+    def run_round(self) -> RoundRecord:
+        """Execute one round under the configured scheduler."""
+        return self.scheduler.run_round(self)
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing primitives
+    # ------------------------------------------------------------------
+    def start_round(self) -> RoundContext:
+        """Sample participants, broadcast the global state, build client tasks."""
+        round_index = len(self.history)
+        participants = self._sample_clients()
+        learning_rate = (
+            self.config.learning_rate * self.config.learning_rate_decay**round_index
+        )
+        broadcast_state, downlink_bytes, downlink_seconds = self._broadcast(participants)
+        context = RoundContext(
+            round_index=round_index,
+            participants=participants,
+            broadcast_state=broadcast_state,
+            learning_rate=learning_rate,
+            downlink_bytes=downlink_bytes,
+            downlink_seconds=downlink_seconds,
+        )
+        context.tasks = [
+            ClientTask(
+                client=client,
+                link=self.transport.uplink(client.client_id),
+                broadcast_state=broadcast_state,
+                learning_rate=learning_rate,
+            )
+            for client in participants
+        ]
+        return context
+
+    def execute_clients(self, context: RoundContext) -> List[ClientResult]:
+        """Run the round's client tasks through the executor layer."""
+        return self.executor.run_clients(context.tasks, codec=self.codec)
+
+    def finish_round(
+        self,
+        context: RoundContext,
+        results: List[ClientResult],
+        aggregated_ids,
+        round_seconds: float,
+        client_weights: Optional[Dict[int, float]] = None,
+        client_staleness: Optional[Dict[int, int]] = None,
+    ) -> RoundRecord:
+        """Evaluate the global model and append the round record."""
+        evaluation = self.server.evaluate()
+        client_weights = client_weights or {}
+        client_staleness = client_staleness or {}
+
+        client_stats = [
+            ClientRoundStat(
+                client_id=result.client_id,
+                num_samples=result.update.num_samples,
+                train_loss=result.update.train_loss,
+                train_accuracy=result.update.train_accuracy,
+                train_seconds=result.update.train_seconds,
+                compress_seconds=result.stats.compress_seconds,
+                decompress_seconds=result.stats.decompress_seconds,
+                transfer_seconds=result.stats.transfer_seconds,
+                payload_nbytes=result.stats.payload_nbytes,
+                compression_ratio=result.stats.ratio,
+                turnaround_seconds=result.turnaround_seconds,
+                delivered=result.delivered,
+                aggregated=result.client_id in aggregated_ids,
+                staleness=client_staleness.get(result.client_id, 0),
+                weight=client_weights.get(result.client_id, 0.0),
+            )
+            for result in results
+        ]
+
+        ratios = [result.stats.ratio for result in results]
+        record = RoundRecord(
+            round_index=context.round_index,
+            global_accuracy=evaluation.accuracy,
+            global_loss=evaluation.loss,
+            mean_client_loss=float(np.mean([r.update.train_loss for r in results])),
+            mean_client_accuracy=float(np.mean([r.update.train_accuracy for r in results])),
+            uplink_bytes=sum(result.stats.payload_nbytes for result in results),
+            uplink_seconds=float(sum(result.stats.transfer_seconds for result in results)),
+            compression_seconds=float(sum(r.stats.compress_seconds for r in results)),
+            decompression_seconds=float(sum(r.stats.decompress_seconds for r in results)),
+            train_seconds=float(sum(r.update.train_seconds for r in results)),
+            validation_seconds=evaluation.seconds,
+            mean_compression_ratio=float(np.mean(ratios)) if ratios else 1.0,
+            downlink_bytes=context.downlink_bytes,
+            downlink_seconds=context.downlink_seconds,
+            participating_clients=len(context.participants),
+            client_stats=client_stats,
+            dropped_clients=sum(1 for result in results if not result.delivered),
+            straggler_clients=sum(
+                1
+                for result in results
+                if result.delivered and result.client_id not in aggregated_ids
+            ),
+            simulated_round_seconds=float(round_seconds),
+        )
+        self.history.add(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Sampling and broadcast
+    # ------------------------------------------------------------------
+    def _sample_clients(self) -> List[FLClient]:
+        """Sample the subset of clients participating in this round."""
+        if self.config.client_fraction >= 1.0:
+            return list(self.clients)
+        count = max(1, int(round(self.config.client_fraction * len(self.clients))))
+        indices = self._sampling_rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[index] for index in sorted(indices)]
+
+    def _broadcast(self, participants: List[FLClient]) -> tuple:
+        """Prepare the broadcast state and its total downlink cost.
+
+        The paper compresses the uplink only; ``compress_downlink`` extends
+        the codec to the broadcast path, in which case clients train on the
+        state they actually receive (including the compression error).
+        """
+        global_state = self.server.global_state()
+        raw_nbytes = int(sum(np.asarray(v).nbytes for v in global_state.values()))
+        if self.codec is None or not self.config.compress_downlink:
+            state = dict(global_state)
+            nbytes = raw_nbytes
+        else:
+            payload = self.codec.compress(global_state)
+            state = self.codec.decompress(payload)
+            nbytes = len(payload)
+
+        if self.transport.is_homogeneous and participants:
+            # Seed arithmetic: per-client cost times the participant count.
+            per_client = self.transport.downlink_seconds(
+                nbytes, participants[0].client_id
+            )
+            seconds = per_client * len(participants)
+        else:
+            seconds = sum(
+                self.transport.downlink_seconds(nbytes, client.client_id)
+                for client in participants
+            )
+        return state, nbytes * len(participants), seconds
+
+    @property
+    def channel(self):
+        """The shared channel for homogeneous transports (``None`` otherwise)."""
+        return self.transport.channel

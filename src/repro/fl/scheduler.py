@@ -1,0 +1,190 @@
+"""Scheduler layer of the federated runtime: pluggable round strategies.
+
+A scheduler decides *what a round means*: who aggregates, with which weights,
+and how long the round takes in simulated time.
+
+* :class:`SynchronousScheduler` — classic FedAvg; the server waits for every
+  participant and averages them (the seed simulation's behaviour,
+  numerically unchanged).
+* :class:`SemiSynchronousScheduler` — FedAvg with a straggler deadline: any
+  client whose simulated turnaround (training + codec + transfer) exceeds the
+  deadline is excluded from aggregation and the round closes at the deadline
+  instead of waiting.
+* :class:`AsynchronousScheduler` — staleness-weighted sequential mixing
+  (FedAsync-style): delivered updates are applied one at a time in arrival
+  order, each with weight ``mixing_rate * (1 + staleness)**-staleness_exponent``.
+
+Schedulers only orchestrate; client execution belongs to the executor layer
+and per-client links to the transport layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fl.aggregation import mix_states
+from repro.fl.history import RoundRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fl.runtime import FederatedRuntime
+
+
+class RoundScheduler:
+    """Base class: one federated round under some coordination strategy."""
+
+    name = "base"
+
+    def run_round(self, runtime: "FederatedRuntime") -> RoundRecord:
+        """Execute one round against the runtime and return its record."""
+        raise NotImplementedError
+
+
+class SynchronousScheduler(RoundScheduler):
+    """FedAvg: wait for every participant, aggregate them all."""
+
+    name = "sync"
+
+    def run_round(self, runtime: "FederatedRuntime") -> RoundRecord:
+        context = runtime.start_round()
+        results = runtime.execute_clients(context)
+        delivered = [result for result in results if result.delivered]
+        if delivered:
+            runtime.server.aggregate(
+                [result.state for result in delivered],
+                [float(result.update.num_samples) for result in delivered],
+            )
+        # The synchronous server waits for every participant's turnaround —
+        # including updates that were lost in transit (it only learns they are
+        # missing once their transfer window has passed).
+        round_seconds = max((r.turnaround_seconds for r in results), default=0.0)
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids={r.client_id for r in delivered},
+            round_seconds=round_seconds,
+        )
+
+
+class SemiSynchronousScheduler(RoundScheduler):
+    """FedAvg with a deadline: stragglers are cut, not waited for."""
+
+    name = "semi-sync"
+
+    def __init__(self, deadline_seconds: float) -> None:
+        if deadline_seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline_seconds}")
+        self.deadline_seconds = float(deadline_seconds)
+
+    def run_round(self, runtime: "FederatedRuntime") -> RoundRecord:
+        context = runtime.start_round()
+        results = runtime.execute_clients(context)
+        delivered = [result for result in results if result.delivered]
+        on_time = [r for r in delivered if r.turnaround_seconds <= self.deadline_seconds]
+        if on_time:
+            runtime.server.aggregate(
+                [result.state for result in on_time],
+                [float(result.update.num_samples) for result in on_time],
+            )
+        # The round runs to the deadline whenever any expected update is
+        # missing at close — cut stragglers *and* updates dropped in transit
+        # (the server cannot distinguish "late" from "lost" until then).
+        waited_out = len(on_time) < len(results)
+        round_seconds = (
+            self.deadline_seconds
+            if waited_out
+            else max((r.turnaround_seconds for r in on_time), default=0.0)
+        )
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids={r.client_id for r in on_time},
+            round_seconds=round_seconds,
+        )
+
+
+class AsynchronousScheduler(RoundScheduler):
+    """Staleness-weighted sequential mixing in simulated arrival order.
+
+    Within each scheduling window ("round"), delivered updates — all trained
+    against the window's broadcast state — are applied one at a time, ordered
+    by simulated turnaround.  The ``i``-th arrival finds a global model that
+    has already absorbed ``i`` fresher updates, so it is mixed in with weight
+    ``mixing_rate * (1 + i) ** -staleness_exponent``.
+    """
+
+    name = "async"
+
+    def __init__(self, mixing_rate: float = 0.5, staleness_exponent: float = 0.5) -> None:
+        if not 0.0 < mixing_rate <= 1.0:
+            raise ValueError(f"mixing_rate must lie in (0, 1], got {mixing_rate}")
+        if staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be non-negative, got {staleness_exponent}"
+            )
+        self.mixing_rate = float(mixing_rate)
+        self.staleness_exponent = float(staleness_exponent)
+
+    def staleness_weight(self, staleness: int) -> float:
+        """Mixing weight for an update that is ``staleness`` versions old."""
+        return self.mixing_rate * (1.0 + staleness) ** (-self.staleness_exponent)
+
+    def run_round(self, runtime: "FederatedRuntime") -> RoundRecord:
+        context = runtime.start_round()
+        results = runtime.execute_clients(context)
+        delivered = [result for result in results if result.delivered]
+        arrivals = sorted(delivered, key=lambda r: (r.turnaround_seconds, r.client_id))
+
+        weights = {}
+        staleness_by_client = {}
+        global_state = runtime.server.global_state()
+        for staleness, result in enumerate(arrivals):
+            weight = self.staleness_weight(staleness)
+            global_state = mix_states(global_state, result.state, weight)
+            weights[result.client_id] = weight
+            staleness_by_client[result.client_id] = staleness
+        if arrivals:
+            runtime.server.set_global_state(global_state)
+
+        round_seconds = max((r.turnaround_seconds for r in arrivals), default=0.0)
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids={r.client_id for r in arrivals},
+            round_seconds=round_seconds,
+            client_weights=weights,
+            client_staleness=staleness_by_client,
+        )
+
+
+def canonical_scheduler_name(name: str) -> str:
+    """Normalise a scheduler alias to ``sync`` / ``semi-sync`` / ``async``."""
+    key = name.lower().replace("_", "-")
+    if key in {"sync", "synchronous", "fedavg"}:
+        return "sync"
+    if key in {"semi-sync", "semisync", "semi-synchronous"}:
+        return "semi-sync"
+    if key in {"async", "asynchronous", "fedasync"}:
+        return "async"
+    raise KeyError(
+        f"unknown scheduler {name!r}; available: 'sync', 'semi-sync', 'async'"
+    )
+
+
+def get_scheduler(name: str, **kwargs) -> RoundScheduler:
+    """Build a scheduler by its short name (``sync``/``semi-sync``/``async``)."""
+    canonical = canonical_scheduler_name(name)
+    if canonical == "sync":
+        return SynchronousScheduler()
+    if canonical == "semi-sync":
+        return SemiSynchronousScheduler(**kwargs)
+    return AsynchronousScheduler(**kwargs)
+
+
+__all__ = [
+    "RoundScheduler",
+    "SynchronousScheduler",
+    "SemiSynchronousScheduler",
+    "AsynchronousScheduler",
+    "canonical_scheduler_name",
+    "get_scheduler",
+]

@@ -1,30 +1,36 @@
-"""In-process federated-learning simulation with a pluggable update codec.
+"""Backwards-compatible facade over the layered federated runtime.
 
-This is the reproduction's stand-in for APPFL + gRPC/MPI: clients, server and
-channel live in one process, communication time is accounted through the
-simulated bandwidth model, and the client→server path can be routed through
-any codec implementing ``compress(state_dict) -> bytes`` /
-``decompress(bytes) -> state_dict`` — in particular
-:class:`repro.core.FedSZCompressor` and the uncompressed
+Historically ``FLSimulation`` was a 200-line monolith that trained clients
+strictly sequentially over one shared channel.  The implementation now lives
+in three pluggable layers — :mod:`repro.fl.scheduler` (round strategy),
+:mod:`repro.fl.executor` (serial/parallel client execution) and
+:mod:`repro.fl.transport` (per-client heterogeneous links) — composed by
+:class:`repro.fl.runtime.FederatedRuntime`.  This module keeps the original
+constructor and attributes working: the default composition (synchronous
+FedAvg, serial executor, one shared homogeneous channel) reproduces the seed
+simulation's numbers exactly.
+
+The client→server path can be routed through any codec implementing
+``compress(state_dict) -> bytes`` / ``decompress(bytes) -> state_dict`` — in
+particular :class:`repro.core.FedSZCompressor` and the uncompressed
 :class:`repro.core.IdentityCodec` baseline.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
 from repro.data.datasets import SyntheticImageDataset
-from repro.data.partition import partition_dataset
 from repro.fl.client import FLClient
 from repro.fl.config import FLConfig
 from repro.fl.history import RoundRecord, TrainingHistory
-from repro.fl.server import FLServer
-from repro.network.bandwidth import BandwidthModel, SimulatedChannel
+from repro.fl.runtime import FederatedRuntime
+from repro.fl.scheduler import RoundScheduler
+from repro.fl.transport import Transport
+from repro.network.bandwidth import SimulatedChannel
 from repro.nn.module import Module
-from repro.utils.seeding import SeedSequenceFactory
 
 
 class UpdateCodec(Protocol):
@@ -38,7 +44,12 @@ class UpdateCodec(Protocol):
 
 
 class FLSimulation:
-    """Orchestrates FedAvg rounds between one server and several clients."""
+    """Orchestrates federated rounds between one server and several clients.
+
+    Thin facade over :class:`~repro.fl.runtime.FederatedRuntime`: pass
+    ``scheduler=``, ``executor=`` or ``transport=`` to swap any layer, or use
+    the runtime directly for full control.
+    """
 
     def __init__(
         self,
@@ -48,157 +59,84 @@ class FLSimulation:
         config: Optional[FLConfig] = None,
         codec: Optional[UpdateCodec] = None,
         channel: Optional[SimulatedChannel] = None,
+        *,
+        scheduler: Optional[RoundScheduler] = None,
+        executor=None,
+        transport: Optional[Transport] = None,
     ) -> None:
-        self.config = config or FLConfig()
-        self.codec = codec
-        self.channel = channel or SimulatedChannel(
-            BandwidthModel(self.config.bandwidth_mbps)
-        )
-        seeds = SeedSequenceFactory(self.config.seed)
-
-        client_datasets = partition_dataset(
+        if transport is None:
+            effective = config or FLConfig()
+            transport = Transport.homogeneous(
+                bandwidth_mbps=effective.bandwidth_mbps, channel=channel
+            )
+        elif channel is not None:
+            raise ValueError("pass either a transport or a channel, not both")
+        self.runtime = FederatedRuntime(
+            model_fn,
             train_dataset,
-            self.config.num_clients,
-            strategy=self.config.partition_strategy,
-            alpha=self.config.dirichlet_alpha,
-            seed=seeds.next_seed(),
+            validation_dataset,
+            config=config,
+            codec=codec,
+            scheduler=scheduler,
+            executor=executor,
+            transport=transport,
         )
-        self.server = FLServer(
-            model_fn, validation_dataset, eval_batch_size=self.config.eval_batch_size
-        )
-        self.clients: List[FLClient] = [
-            FLClient(client_id, model_fn, dataset, self.config, seed=seeds.next_seed())
-            for client_id, dataset in enumerate(client_datasets)
-        ]
-        self.history = TrainingHistory()
-        self._sampling_rng = np.random.default_rng(seeds.next_seed())
 
     # ------------------------------------------------------------------
-    # Round loop
+    # Delegation
     # ------------------------------------------------------------------
+    @property
+    def config(self) -> FLConfig:
+        """The run's hyper-parameters."""
+        return self.runtime.config
+
+    @property
+    def codec(self):
+        """The update codec routed through the uplink (``None`` = raw)."""
+        return self.runtime.codec
+
+    @property
+    def channel(self):
+        """The shared channel (``None`` for heterogeneous transports)."""
+        return self.runtime.channel
+
+    @property
+    def server(self):
+        """The federated server holding the global model."""
+        return self.runtime.server
+
+    @property
+    def clients(self) -> List[FLClient]:
+        """The client population."""
+        return self.runtime.clients
+
+    @property
+    def history(self) -> TrainingHistory:
+        """Round records accumulated so far."""
+        return self.runtime.history
+
+    @property
+    def scheduler(self) -> RoundScheduler:
+        """The active round strategy."""
+        return self.runtime.scheduler
+
+    @property
+    def executor(self):
+        """The active client executor."""
+        return self.runtime.executor
+
+    @property
+    def transport(self) -> Transport:
+        """The active transport layer."""
+        return self.runtime.transport
+
     def run(self, rounds: Optional[int] = None) -> TrainingHistory:
         """Run ``rounds`` communication rounds (defaults to the configured count)."""
-        for _ in range(rounds if rounds is not None else self.config.rounds):
-            self.run_round()
-        return self.history
+        return self.runtime.run(rounds)
 
     def run_round(self) -> RoundRecord:
-        """Execute one FedAvg round: broadcast, local training, upload, aggregate."""
-        round_index = len(self.history)
-        global_state = self.server.global_state()
-        participants = self._sample_clients()
-        learning_rate = self.config.learning_rate * self.config.learning_rate_decay**round_index
-
-        # Server -> client broadcast.  The paper compresses the uplink only;
-        # compress_downlink extends the same codec to the broadcast path.
-        broadcast_state, downlink_bytes_per_client, downlink_seconds_per_client = (
-            self._broadcast(global_state)
-        )
-        downlink_bytes = downlink_bytes_per_client * len(participants)
-        downlink_seconds = downlink_seconds_per_client * len(participants)
-
-        client_states: List[Dict[str, np.ndarray]] = []
-        client_weights: List[float] = []
-        client_losses: List[float] = []
-        client_accuracies: List[float] = []
-        uplink_bytes = 0
-        uplink_seconds = 0.0
-        compression_seconds = 0.0
-        decompression_seconds = 0.0
-        train_seconds = 0.0
-        ratios: List[float] = []
-
-        for client in participants:
-            update = client.train(broadcast_state, learning_rate=learning_rate)
-            train_seconds += update.train_seconds
-            client_losses.append(update.train_loss)
-            client_accuracies.append(update.train_accuracy)
-            client_weights.append(float(update.num_samples))
-
-            received_state, transfer_stats = self._transmit(update.state_dict)
-            client_states.append(received_state)
-            uplink_bytes += transfer_stats["payload_nbytes"]
-            uplink_seconds += transfer_stats["transfer_seconds"]
-            compression_seconds += transfer_stats["compress_seconds"]
-            decompression_seconds += transfer_stats["decompress_seconds"]
-            ratios.append(transfer_stats["ratio"])
-
-        self.server.aggregate(client_states, client_weights)
-        evaluation = self.server.evaluate()
-
-        record = RoundRecord(
-            round_index=round_index,
-            global_accuracy=evaluation.accuracy,
-            global_loss=evaluation.loss,
-            mean_client_loss=float(np.mean(client_losses)),
-            mean_client_accuracy=float(np.mean(client_accuracies)),
-            uplink_bytes=uplink_bytes,
-            uplink_seconds=uplink_seconds,
-            compression_seconds=compression_seconds,
-            decompression_seconds=decompression_seconds,
-            train_seconds=train_seconds,
-            validation_seconds=evaluation.seconds,
-            mean_compression_ratio=float(np.mean(ratios)) if ratios else 1.0,
-            downlink_bytes=downlink_bytes,
-            downlink_seconds=downlink_seconds,
-            participating_clients=len(participants),
-        )
-        self.history.add(record)
-        return record
-
-    # ------------------------------------------------------------------
-    # Client sampling and broadcast
-    # ------------------------------------------------------------------
-    def _sample_clients(self) -> List[FLClient]:
-        """Sample the subset of clients participating in this round."""
-        if self.config.client_fraction >= 1.0:
-            return list(self.clients)
-        count = max(1, int(round(self.config.client_fraction * len(self.clients))))
-        indices = self._sampling_rng.choice(len(self.clients), size=count, replace=False)
-        return [self.clients[index] for index in sorted(indices)]
-
-    def _broadcast(self, global_state: Dict[str, np.ndarray]) -> tuple:
-        """Prepare the per-client broadcast state and its per-client cost."""
-        raw_nbytes = int(sum(np.asarray(v).nbytes for v in global_state.values()))
-        if self.codec is None or not self.config.compress_downlink:
-            seconds = self.channel.bandwidth.transmission_seconds(raw_nbytes)
-            return dict(global_state), raw_nbytes, seconds
-        payload = self.codec.compress(global_state)
-        seconds = self.channel.bandwidth.transmission_seconds(len(payload))
-        # Clients train on the state they actually receive (including the
-        # compression error), matching a real compressed broadcast.
-        return self.codec.decompress(payload), len(payload), seconds
-
-    # ------------------------------------------------------------------
-    # Transport
-    # ------------------------------------------------------------------
-    def _transmit(self, state_dict: Dict[str, np.ndarray]) -> tuple:
-        """Push one client update through the (optional) codec and the channel."""
-        original_nbytes = int(sum(np.asarray(v).nbytes for v in state_dict.values()))
-        if self.codec is None:
-            record = self.channel.send(original_nbytes, description="raw client update")
-            return dict(state_dict), {
-                "payload_nbytes": original_nbytes,
-                "transfer_seconds": record.seconds,
-                "compress_seconds": 0.0,
-                "decompress_seconds": 0.0,
-                "ratio": 1.0,
-            }
-
-        start = time.perf_counter()
-        payload = self.codec.compress(state_dict)
-        compress_seconds = time.perf_counter() - start
-        record = self.channel.send(payload, description="compressed client update")
-        start = time.perf_counter()
-        received_state = self.codec.decompress(payload)
-        decompress_seconds = time.perf_counter() - start
-        return received_state, {
-            "payload_nbytes": len(payload),
-            "transfer_seconds": record.seconds,
-            "compress_seconds": compress_seconds,
-            "decompress_seconds": decompress_seconds,
-            "ratio": original_nbytes / max(len(payload), 1),
-        }
+        """Execute one round under the configured scheduler."""
+        return self.runtime.run_round()
 
 
 def run_federated_training(

@@ -1,0 +1,379 @@
+"""Transport layer of the federated runtime.
+
+Every client owns a :class:`ClientLink` — a point-to-point connection to the
+server with its own bandwidth, latency, straggler factor and dropout
+probability, optionally backed by a :class:`repro.network.DeviceProfile` that
+models the codec runtime on that client's hardware (e.g. a Raspberry Pi 5).
+A :class:`Transport` bundles the per-client uplinks plus the server broadcast
+downlink and is one of the three pluggable layers of
+:class:`repro.fl.runtime.FederatedRuntime` (the others being the scheduler and
+the executor).
+
+``Transport.homogeneous`` reproduces the seed behaviour exactly: one shared
+:class:`~repro.network.bandwidth.SimulatedChannel` carries every client's
+update, so existing code that inspects ``simulation.channel`` keeps working.
+``Transport.heterogeneous`` gives each client an independent link built from a
+:class:`LinkSpec`, which is what the paper's multi-client wall-clock analysis
+(Figures 7-9) actually assumes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.network.bandwidth import BandwidthModel, SimulatedChannel
+from repro.network.devices import DeviceProfile, get_device_profile
+from repro.network.timing import CommunicationEstimate, estimate_communication
+from repro.utils.seeding import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one client's link (and optionally its hardware).
+
+    ``straggler_factor`` multiplies the modelled transfer time of every send
+    (a factor of 20 turns the client into a straggler without changing the
+    link's nominal bandwidth); ``dropout_probability`` is the per-round chance
+    that the client's update is lost in transit.  ``device`` names a
+    :func:`repro.network.get_device_profile` profile used to *model* codec
+    runtime on that client instead of trusting this host's measurement.
+    """
+
+    bandwidth_mbps: float = 10.0
+    latency_seconds: float = 0.0
+    straggler_factor: float = 1.0
+    dropout_probability: float = 0.0
+    device: Optional[str] = None
+    real_sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if self.latency_seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_seconds}")
+        if self.straggler_factor <= 0:
+            raise ValueError(f"straggler_factor must be positive, got {self.straggler_factor}")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError(
+                f"dropout_probability must lie in [0, 1), got {self.dropout_probability}"
+            )
+
+
+@dataclass
+class TransferStats:
+    """Accounting for one client update pushed through codec + link."""
+
+    payload_nbytes: int = 0
+    transfer_seconds: float = 0.0
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+    ratio: float = 1.0
+    delivered: bool = True
+    report: Optional[object] = None
+
+    @property
+    def codec_seconds(self) -> float:
+        """Total codec time (compression plus decompression)."""
+        return self.compress_seconds + self.decompress_seconds
+
+
+class ClientLink:
+    """One client's uplink: a bandwidth-limited channel plus failure model."""
+
+    def __init__(
+        self,
+        client_id: int,
+        spec: Optional[LinkSpec] = None,
+        channel: Optional[SimulatedChannel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = int(client_id)
+        self.spec = spec or LinkSpec()
+        self.channel = channel or SimulatedChannel(
+            BandwidthModel(self.spec.bandwidth_mbps, self.spec.latency_seconds),
+            real_sleep=self.spec.real_sleep,
+        )
+        self.device_profile: Optional[DeviceProfile] = (
+            get_device_profile(self.spec.device) if self.spec.device else None
+        )
+        self._rng = np.random.default_rng(seed)
+
+    def send(self, payload: bytes | int, description: str = ""):
+        """Push a payload through this link, honouring the straggler factor."""
+        return self.channel.send(
+            payload, description=description, delay_scale=self.spec.straggler_factor
+        )
+
+    def transmission_seconds(self, num_bytes: int) -> float:
+        """Modelled seconds to move ``num_bytes`` over this link."""
+        return self.channel.bandwidth.transmission_seconds(num_bytes) * self.spec.straggler_factor
+
+    def roll_dropout(self) -> bool:
+        """Draw from this link's private stream: is the next update lost?"""
+        if self.spec.dropout_probability <= 0.0:
+            return False
+        return bool(self._rng.random() < self.spec.dropout_probability)
+
+    def estimate_upload(
+        self,
+        original_nbytes: int,
+        compressed_nbytes: Optional[int] = None,
+        compressor: Optional[str] = None,
+        error_bound: Optional[float] = None,
+        measured_compress_seconds: float = 0.0,
+        measured_decompress_seconds: float = 0.0,
+    ) -> CommunicationEstimate:
+        """Analytic end-to-end upload estimate over this link (Eqn. 1 inputs).
+
+        Codec runtimes come from the link's device profile when one is
+        configured, otherwise from the caller's measurements — the same
+        convention as :func:`repro.network.estimate_communication`, which this
+        wraps with the link's bandwidth.
+        """
+        return estimate_communication(
+            original_nbytes,
+            compressed_nbytes,
+            self.spec.bandwidth_mbps,
+            compressor=compressor,
+            error_bound=error_bound,
+            device=self.device_profile,
+            measured_compress_seconds=measured_compress_seconds,
+            measured_decompress_seconds=measured_decompress_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClientLink(client_id={self.client_id}, spec={self.spec})"
+
+
+def transmit_update(
+    state_dict: Mapping[str, np.ndarray],
+    codec,
+    link: ClientLink,
+    lock=None,
+):
+    """Push one client update through the (optional) codec and its link.
+
+    Returns ``(received_state, TransferStats)``; ``received_state`` is ``None``
+    when the link dropped the update (the server never sees it).  ``lock``
+    serialises access to a codec shared across executor threads; pass ``None``
+    for per-client codec instances or serial execution.
+    """
+    original_nbytes = int(sum(np.asarray(v).nbytes for v in state_dict.values()))
+    dropped = link.roll_dropout()
+
+    if codec is None:
+        record = link.send(original_nbytes, description="raw client update")
+        stats = TransferStats(
+            payload_nbytes=original_nbytes,
+            transfer_seconds=record.seconds,
+            ratio=1.0,
+            delivered=not dropped,
+        )
+        return (None if dropped else dict(state_dict)), stats
+
+    # Timers start inside the lock: measured codec seconds must not include
+    # time spent waiting for other executor threads to release a shared codec
+    # (that wait would otherwise inflate turnarounds and could flip semi-sync
+    # straggler decisions based on thread scheduling).
+    guard = lock if lock is not None else contextlib.nullcontext()
+    with guard:
+        start = time.perf_counter()
+        payload = codec.compress(state_dict)
+        compress_seconds = time.perf_counter() - start
+        report = getattr(codec, "last_report", None)
+
+    record = link.send(payload, description="compressed client update")
+
+    received_state = None
+    decompress_seconds = 0.0
+    if not dropped:
+        with guard:
+            start = time.perf_counter()
+            received_state = codec.decompress(payload)
+            decompress_seconds = time.perf_counter() - start
+
+    if link.device_profile is not None:
+        # Model the codec runtime on the client's hardware instead of trusting
+        # this host's measurement (the paper's Raspberry Pi 5 convention).
+        config = getattr(codec, "config", None)
+        if config is not None:
+            compress_seconds = link.device_profile.compression_seconds(
+                config.lossy_compressor, original_nbytes, config.error_bound
+            )
+            if received_state is not None:
+                decompress_seconds = link.device_profile.decompression_seconds(
+                    config.lossy_compressor, original_nbytes, config.error_bound
+                )
+
+    stats = TransferStats(
+        payload_nbytes=len(payload),
+        transfer_seconds=record.seconds,
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+        ratio=original_nbytes / max(len(payload), 1),
+        delivered=not dropped,
+        report=report,
+    )
+    return received_state, stats
+
+
+class Transport:
+    """Per-client uplinks plus the server's broadcast downlink.
+
+    Construct via :meth:`homogeneous` (one shared channel, the seed
+    behaviour) or :meth:`heterogeneous` (one independent link per client),
+    then :meth:`bind` to a client population.  The runtime calls ``bind``
+    automatically.
+    """
+
+    def __init__(
+        self,
+        specs: Optional[Sequence[LinkSpec]] = None,
+        default_spec: Optional[LinkSpec] = None,
+        share_channel: bool = False,
+        channel: Optional[SimulatedChannel] = None,
+    ) -> None:
+        self._specs: Optional[List[LinkSpec]] = list(specs) if specs is not None else None
+        self._default_spec = default_spec or LinkSpec()
+        self._share_channel = bool(share_channel or channel is not None)
+        self._channel = channel
+        self._user_channel = channel is not None
+        self.links: Dict[int, ClientLink] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        bandwidth_mbps: float = 10.0,
+        latency_seconds: float = 0.0,
+        channel: Optional[SimulatedChannel] = None,
+        real_sleep: bool = False,
+    ) -> "Transport":
+        """Every client shares one channel — identical to the seed simulation."""
+        if channel is not None:
+            spec = LinkSpec(
+                bandwidth_mbps=channel.bandwidth.bandwidth_mbps,
+                latency_seconds=channel.bandwidth.latency_seconds,
+                real_sleep=channel.real_sleep,
+            )
+        else:
+            spec = LinkSpec(
+                bandwidth_mbps=bandwidth_mbps,
+                latency_seconds=latency_seconds,
+                real_sleep=real_sleep,
+            )
+        return cls(default_spec=spec, share_channel=True, channel=channel)
+
+    @classmethod
+    def heterogeneous(cls, specs: Sequence[LinkSpec]) -> "Transport":
+        """One independent link per client, in client-id order."""
+        if not specs:
+            raise ValueError("heterogeneous transport needs at least one LinkSpec")
+        return cls(specs=list(specs))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, num_clients: int, seed: int = 0) -> None:
+        """Instantiate one link per client.
+
+        Rebinding (e.g. reusing one transport across two runtimes) rebuilds
+        every link, so dropout streams restart from ``seed`` instead of
+        continuing the previous run's draws.  A user-supplied shared channel
+        is kept (its transfer log spans both runs, as it did in the seed
+        simulation); an auto-created one is replaced.
+        """
+        if self._specs is not None and len(self._specs) != num_clients:
+            raise ValueError(
+                f"transport has {len(self._specs)} link specs but the runtime has "
+                f"{num_clients} clients"
+            )
+        if self._share_channel and (self._channel is None or not self._user_channel):
+            self._channel = SimulatedChannel(
+                BandwidthModel(
+                    self._default_spec.bandwidth_mbps, self._default_spec.latency_seconds
+                ),
+                real_sleep=self._default_spec.real_sleep,
+            )
+        seeds = SeedSequenceFactory(seed)
+        self.links = {}
+        for client_id in range(num_clients):
+            spec = self._specs[client_id] if self._specs is not None else self._default_spec
+            self.links[client_id] = ClientLink(
+                client_id,
+                spec,
+                channel=self._channel if self._share_channel else None,
+                seed=seeds.next_seed(),
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def channel(self) -> Optional[SimulatedChannel]:
+        """The shared channel (``None`` for heterogeneous transports)."""
+        return self._channel
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every client shares one link spec and channel."""
+        return self._specs is None
+
+    def uplink(self, client_id: int) -> ClientLink:
+        """The link carrying ``client_id``'s updates to the server."""
+        return self.links[client_id]
+
+    def downlink_seconds(self, num_bytes: int, client_id: int) -> float:
+        """Modelled broadcast time to one client (links are symmetric)."""
+        return self.links[client_id].transmission_seconds(num_bytes)
+
+    def total_uplink_seconds(self) -> float:
+        """Simulated transfer time accumulated across every link so far."""
+        if self._share_channel:
+            return self._channel.total_seconds if self._channel is not None else 0.0
+        return sum(link.channel.total_seconds for link in self.links.values())
+
+
+def edge_fleet_specs(
+    num_clients: int,
+    bandwidths_mbps: Sequence[float] = (5.0, 10.0, 25.0, 50.0),
+    latency_seconds: float = 0.01,
+    straggler_ids: Sequence[int] = (),
+    straggler_factor: float = 10.0,
+    dropout_probability: float = 0.0,
+    device: Optional[str] = None,
+) -> List[LinkSpec]:
+    """Convenience: a heterogeneous fleet cycling through edge bandwidths.
+
+    Client ``i`` gets ``bandwidths_mbps[i % len(bandwidths_mbps)]``; clients
+    listed in ``straggler_ids`` additionally get ``straggler_factor`` applied
+    to every transfer.  This mirrors the device diversity the paper targets
+    (constrained edge uplinks, Section VI-C) without hand-writing specs.
+    """
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive, got {num_clients}")
+    stragglers = set(int(i) for i in straggler_ids)
+    out_of_range = sorted(i for i in stragglers if not 0 <= i < num_clients)
+    if out_of_range:
+        raise ValueError(
+            f"straggler ids {out_of_range} are out of range for {num_clients} clients"
+        )
+    specs = []
+    for client_id in range(num_clients):
+        specs.append(
+            LinkSpec(
+                bandwidth_mbps=float(bandwidths_mbps[client_id % len(bandwidths_mbps)]),
+                latency_seconds=latency_seconds,
+                straggler_factor=straggler_factor if client_id in stragglers else 1.0,
+                dropout_probability=dropout_probability,
+                device=device,
+            )
+        )
+    return specs

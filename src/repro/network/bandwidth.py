@@ -70,10 +70,19 @@ class SimulatedChannel:
     real_sleep: bool = False
     transfers: List[TransferRecord] = field(default_factory=list)
 
-    def send(self, payload: bytes | int, description: str = "") -> TransferRecord:
-        """Simulate sending ``payload`` (bytes object or a byte count)."""
+    def send(
+        self, payload: bytes | int, description: str = "", delay_scale: float = 1.0
+    ) -> TransferRecord:
+        """Simulate sending ``payload`` (bytes object or a byte count).
+
+        ``delay_scale`` multiplies the modelled transfer time; transport links
+        use it to inject stragglers (a slow client occupies its link longer
+        without changing the link's nominal bandwidth).
+        """
+        if delay_scale < 0:
+            raise ValueError(f"delay_scale must be non-negative, got {delay_scale}")
         num_bytes = payload if isinstance(payload, int) else len(payload)
-        seconds = self.bandwidth.transmission_seconds(num_bytes)
+        seconds = self.bandwidth.transmission_seconds(num_bytes) * delay_scale
         if self.real_sleep:
             time.sleep(seconds)
         record = TransferRecord(payload_nbytes=num_bytes, seconds=seconds, description=description)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.compression import registry as _compressor_registry
 from repro.utils.seeding import set_global_seed
 
 
@@ -13,6 +14,23 @@ def _deterministic_seed():
     """Every test starts from the same global seed for reproducibility."""
     set_global_seed(1234)
     yield
+
+
+@pytest.fixture(autouse=True)
+def _isolated_compressor_registry():
+    """Snapshot and restore the global compressor registries around each test.
+
+    Tests exercising ``register_lossy`` / ``register_lossless`` would
+    otherwise leak their custom factories into every later test in the run —
+    exactly the kind of order-dependent state this suite must not have.
+    """
+    lossy = dict(_compressor_registry._LOSSY_FACTORIES)
+    lossless = dict(_compressor_registry._LOSSLESS_FACTORIES)
+    yield
+    _compressor_registry._LOSSY_FACTORIES.clear()
+    _compressor_registry._LOSSY_FACTORIES.update(lossy)
+    _compressor_registry._LOSSLESS_FACTORIES.clear()
+    _compressor_registry._LOSSLESS_FACTORIES.update(lossless)
 
 
 @pytest.fixture

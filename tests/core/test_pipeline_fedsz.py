@@ -198,3 +198,37 @@ def test_identity_codec_roundtrip(tiny_state):
     for name in tiny_state:
         np.testing.assert_array_equal(restored[name], tiny_state[name])
     assert codec.last_report.ratio == pytest.approx(1.0, rel=0.05)
+
+
+def test_lossy_options_applied_when_valid(tiny_state):
+    payload, report = compress_state_dict(
+        tiny_state, FedSZConfig(error_bound=1e-2, lossy_options={"block_size": 64})
+    )
+    assert report.ratio > 1.0
+    restored = decompress_state_dict(payload)
+    assert set(restored) == set(tiny_state)
+
+
+def test_lossy_options_rejects_unknown_names(tiny_state):
+    """A typo'd option must fail loudly instead of being setattr-ed onto the
+    codec instance and silently ignored."""
+    with pytest.raises(ValueError, match="blocksize"):
+        compress_state_dict(
+            tiny_state, FedSZConfig(error_bound=1e-2, lossy_options={"blocksize": 64})
+        )
+    with pytest.raises(ValueError, match="available options"):
+        FedSZCompressor(lossy_options={"not_an_option": 1}).compress(tiny_state)
+
+
+def test_codec_clone_is_independent(tiny_state):
+    codec = FedSZCompressor(error_bound=1e-3, lossy_compressor="sz3")
+    clone = codec.clone()
+    assert clone is not codec
+    assert clone.config == codec.config
+    clone.compress(tiny_state)
+    assert clone.last_report is not None
+    assert codec.last_report is None  # the original's report is untouched
+    identity = IdentityCodec()
+    identity_clone = identity.clone()
+    identity_clone.compress(tiny_state)
+    assert identity.last_report is None

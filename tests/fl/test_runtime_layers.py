@@ -1,0 +1,378 @@
+"""Tests for the scheduler / executor / transport layers of the FL runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FedSZCompressor, IdentityCodec
+from repro.data import load_dataset
+from repro.fl import (
+    AsynchronousScheduler,
+    FederatedRuntime,
+    FLConfig,
+    FLSimulation,
+    LinkSpec,
+    ParallelExecutor,
+    SemiSynchronousScheduler,
+    SerialExecutor,
+    SynchronousScheduler,
+    Transport,
+    edge_fleet_specs,
+    get_scheduler,
+    mix_states,
+)
+from repro.fl.transport import ClientLink
+from repro.nn.models import create_model
+
+
+@pytest.fixture(scope="module")
+def data():
+    full = load_dataset("cifar10", num_samples=240, image_size=8, seed=0)
+    return full.split(0.75, seed=1)
+
+
+@pytest.fixture
+def model_fn():
+    return lambda: create_model("resnet50", "tiny", num_classes=10, seed=9)
+
+
+@pytest.fixture
+def config():
+    return FLConfig(num_clients=4, rounds=2, batch_size=16, seed=3)
+
+
+# ----------------------------------------------------------------------
+# Transport layer
+# ----------------------------------------------------------------------
+def test_link_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth_mbps=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(latency_seconds=-1.0)
+    with pytest.raises(ValueError):
+        LinkSpec(straggler_factor=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(dropout_probability=1.0)
+
+
+def test_straggler_factor_scales_transfer_time():
+    fast = ClientLink(0, LinkSpec(bandwidth_mbps=10.0))
+    slow = ClientLink(1, LinkSpec(bandwidth_mbps=10.0, straggler_factor=8.0))
+    nbytes = 1_000_000
+    assert slow.transmission_seconds(nbytes) == pytest.approx(
+        8.0 * fast.transmission_seconds(nbytes)
+    )
+    record = slow.send(nbytes)
+    assert record.seconds == pytest.approx(slow.transmission_seconds(nbytes))
+
+
+def test_dropout_stream_is_seeded_per_link():
+    rolls_a = [ClientLink(0, LinkSpec(dropout_probability=0.5), seed=7).roll_dropout() for _ in range(8)]
+    rolls_b = [ClientLink(0, LinkSpec(dropout_probability=0.5), seed=7).roll_dropout() for _ in range(8)]
+    assert rolls_a == rolls_b
+    link = ClientLink(0, LinkSpec(dropout_probability=0.5), seed=7)
+    sequence = [link.roll_dropout() for _ in range(32)]
+    assert any(sequence) and not all(sequence)
+
+
+def test_homogeneous_transport_shares_one_channel():
+    transport = Transport.homogeneous(bandwidth_mbps=10.0)
+    transport.bind(3, seed=0)
+    assert transport.is_homogeneous
+    assert transport.channel is not None
+    assert all(link.channel is transport.channel for link in transport.links.values())
+
+
+def test_heterogeneous_transport_has_independent_links():
+    specs = edge_fleet_specs(3, bandwidths_mbps=(5.0, 50.0))
+    transport = Transport.heterogeneous(specs)
+    transport.bind(3, seed=0)
+    assert not transport.is_homogeneous
+    assert transport.channel is None
+    links = list(transport.links.values())
+    assert len({id(link.channel) for link in links}) == 3
+    assert links[0].spec.bandwidth_mbps == 5.0
+    assert links[1].spec.bandwidth_mbps == 50.0
+    assert links[2].spec.bandwidth_mbps == 5.0
+
+
+def test_transport_rebind_restarts_link_streams():
+    """Reusing one transport across runtimes must not continue stale state:
+    rebinding rebuilds the links, so dropout streams restart from the seed."""
+    transport = Transport.heterogeneous([LinkSpec(dropout_probability=0.5)] * 2)
+    transport.bind(2, seed=9)
+    first = [transport.uplink(0).roll_dropout() for _ in range(6)]
+    transport.bind(2, seed=9)
+    second = [transport.uplink(0).roll_dropout() for _ in range(6)]
+    assert first == second
+
+
+def test_heterogeneous_transport_rejects_wrong_spec_count():
+    transport = Transport.heterogeneous([LinkSpec(), LinkSpec()])
+    with pytest.raises(ValueError):
+        transport.bind(3, seed=0)
+
+
+def test_edge_fleet_specs_straggler_and_validation():
+    specs = edge_fleet_specs(4, straggler_ids=(2,), straggler_factor=10.0)
+    assert [spec.straggler_factor for spec in specs] == [1.0, 1.0, 10.0, 1.0]
+    with pytest.raises(ValueError):
+        edge_fleet_specs(0)
+
+
+def test_link_estimate_upload_matches_network_model():
+    from repro.network import estimate_communication
+
+    link = ClientLink(0, LinkSpec(bandwidth_mbps=10.0, device="raspberry-pi-5"))
+    estimate = link.estimate_upload(
+        1_000_000, 100_000, compressor="sz2", error_bound=1e-2
+    )
+    reference = estimate_communication(
+        1_000_000, 100_000, 10.0, compressor="sz2", error_bound=1e-2,
+        device=link.device_profile,
+    )
+    assert estimate.total_seconds == pytest.approx(reference.total_seconds)
+    assert estimate.compress_seconds > 0  # modelled from the Pi profile
+
+
+# ----------------------------------------------------------------------
+# Executor layer
+# ----------------------------------------------------------------------
+def _deterministic_fields(history):
+    return [
+        (
+            record.global_accuracy,
+            record.global_loss,
+            record.mean_client_loss,
+            record.mean_client_accuracy,
+            record.uplink_bytes,
+            record.uplink_seconds,
+            record.mean_compression_ratio,
+            record.downlink_bytes,
+            record.downlink_seconds,
+            record.participating_clients,
+            tuple(
+                (s.client_id, s.payload_nbytes, s.compression_ratio, s.aggregated)
+                for s in record.client_stats
+            ),
+        )
+        for record in history.records
+    ]
+
+
+@pytest.mark.parametrize("codec_fn", [lambda: None, lambda: FedSZCompressor(1e-2), IdentityCodec])
+def test_parallel_executor_matches_serial_history(data, model_fn, config, codec_fn):
+    """Same seeds => identical simulated outcome regardless of the executor."""
+    train, val = data
+    serial = FLSimulation(
+        model_fn, train, val, config, codec=codec_fn(), executor=SerialExecutor()
+    ).run()
+    parallel = FLSimulation(
+        model_fn, train, val, config, codec=codec_fn(), executor=ParallelExecutor(max_workers=4)
+    ).run()
+    assert _deterministic_fields(serial) == _deterministic_fields(parallel)
+
+
+def test_parallel_executor_keeps_per_client_reports(data, model_fn, config):
+    """Per-client codec clones stop last_report clobbering: every client's own
+    ratio is recorded, and the facade codec still reports the last one."""
+    train, val = data
+    codec = FedSZCompressor(error_bound=1e-2)
+    simulation = FLSimulation(
+        model_fn, train, val, config, codec=codec, executor=ParallelExecutor(max_workers=4)
+    )
+    record = simulation.run_round()
+    assert len(record.client_stats) == config.num_clients
+    assert all(stat.compression_ratio > 1.0 for stat in record.client_stats)
+    assert codec.report().ratio == pytest.approx(
+        record.client_stats[-1].compression_ratio, rel=1e-6
+    )
+
+
+def test_parallel_executor_validation():
+    with pytest.raises(ValueError):
+        ParallelExecutor(max_workers=0)
+    assert ParallelExecutor().run_clients([], codec=None) == []
+
+
+# ----------------------------------------------------------------------
+# Scheduler layer
+# ----------------------------------------------------------------------
+def test_sync_scheduler_matches_seed_reference_loop(data, model_fn):
+    """The layered runtime's default round is numerically the seed loop:
+    broadcast, sequential local training, uplink, FedAvg, evaluate."""
+    from repro.fl import FLClient, FLServer, fedavg
+    from repro.data.partition import partition_dataset
+    from repro.utils.seeding import SeedSequenceFactory
+
+    train, val = data
+    config = FLConfig(num_clients=2, rounds=1, batch_size=16, seed=5)
+
+    # Hand-rolled seed implementation (the original FLSimulation round).
+    seeds = SeedSequenceFactory(config.seed)
+    datasets = partition_dataset(
+        train, config.num_clients, strategy=config.partition_strategy,
+        alpha=config.dirichlet_alpha, seed=seeds.next_seed(),
+    )
+    server = FLServer(model_fn, val, eval_batch_size=config.eval_batch_size)
+    clients = [
+        FLClient(i, model_fn, dataset, config, seed=seeds.next_seed())
+        for i, dataset in enumerate(datasets)
+    ]
+    broadcast = server.global_state()
+    states, weights = [], []
+    for client in clients:
+        update = client.train(dict(broadcast), learning_rate=config.learning_rate)
+        states.append(dict(update.state_dict))
+        weights.append(float(update.num_samples))
+    server.aggregate(states, weights)
+    reference = server.evaluate()
+
+    history = FLSimulation(model_fn, train, val, config, codec=None).run(1)
+    assert history.records[0].global_accuracy == reference.accuracy
+    assert history.records[0].global_loss == reference.loss
+
+
+def test_semi_sync_scheduler_cuts_straggler(data, model_fn, config):
+    train, val = data
+    specs = edge_fleet_specs(
+        4, bandwidths_mbps=(10.0,), straggler_ids=(1,), straggler_factor=1000.0
+    )
+    simulation = FLSimulation(
+        model_fn, train, val, config,
+        codec=None,
+        scheduler=SemiSynchronousScheduler(deadline_seconds=10.0),
+        transport=Transport.heterogeneous(specs),
+    )
+    record = simulation.run_round()
+    assert record.straggler_clients == 1
+    by_id = {stat.client_id: stat for stat in record.client_stats}
+    assert not by_id[1].aggregated
+    assert by_id[1].delivered
+    assert sum(1 for stat in record.client_stats if stat.aggregated) == 3
+    assert record.simulated_round_seconds == pytest.approx(10.0)
+
+
+def test_semi_sync_without_stragglers_closes_early(data, model_fn, config):
+    train, val = data
+    simulation = FLSimulation(
+        model_fn, train, val, config,
+        scheduler=SemiSynchronousScheduler(deadline_seconds=1e6),
+    )
+    record = simulation.run_round()
+    assert record.straggler_clients == 0
+    assert record.simulated_round_seconds < 1e6
+    assert record.simulated_round_seconds == pytest.approx(
+        max(stat.turnaround_seconds for stat in record.client_stats)
+    )
+
+
+def test_async_scheduler_staleness_weights(data, model_fn, config):
+    train, val = data
+    # Distinct latencies make the arrival order deterministic.
+    specs = [LinkSpec(bandwidth_mbps=10.0, latency_seconds=10.0 * (i + 1)) for i in range(4)]
+    simulation = FLSimulation(
+        model_fn, train, val, config,
+        codec=None,
+        scheduler=AsynchronousScheduler(mixing_rate=0.5, staleness_exponent=0.5),
+        transport=Transport.heterogeneous(specs),
+    )
+    record = simulation.run_round()
+    by_arrival = sorted(record.client_stats, key=lambda stat: stat.staleness)
+    assert [stat.client_id for stat in by_arrival] == [0, 1, 2, 3]
+    weights = [stat.weight for stat in by_arrival]
+    assert weights[0] == pytest.approx(0.5)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+    assert all(stat.aggregated for stat in record.client_stats)
+    assert 0.0 <= record.global_accuracy <= 1.0
+
+
+def test_async_scheduler_still_learns(data, model_fn):
+    train, val = data
+    config = FLConfig(num_clients=2, rounds=3, batch_size=16, learning_rate=0.1, seed=5)
+    history = FLSimulation(
+        model_fn, train, val, config,
+        scheduler=AsynchronousScheduler(mixing_rate=0.9, staleness_exponent=0.5),
+    ).run()
+    assert history.final_accuracy >= history.records[0].global_accuracy - 0.1
+
+
+def test_dropout_excludes_update_from_aggregation(data, model_fn, config):
+    train, val = data
+    specs = [LinkSpec(dropout_probability=0.95) for _ in range(4)]
+    simulation = FLSimulation(
+        model_fn, train, val, config,
+        codec=None,
+        transport=Transport.heterogeneous(specs),
+    )
+    record = simulation.run_round()
+    assert record.dropped_clients >= 1
+    dropped = [stat for stat in record.client_stats if not stat.delivered]
+    assert dropped and all(not stat.aggregated for stat in dropped)
+
+
+def test_get_scheduler_factory():
+    assert isinstance(get_scheduler("sync"), SynchronousScheduler)
+    assert isinstance(get_scheduler("semi-sync", deadline_seconds=2.0), SemiSynchronousScheduler)
+    assert isinstance(get_scheduler("async"), AsynchronousScheduler)
+    with pytest.raises(KeyError):
+        get_scheduler("tree-allreduce")
+
+
+def test_scheduler_parameter_validation():
+    with pytest.raises(ValueError):
+        SemiSynchronousScheduler(deadline_seconds=0.0)
+    with pytest.raises(ValueError):
+        AsynchronousScheduler(mixing_rate=0.0)
+    with pytest.raises(ValueError):
+        AsynchronousScheduler(staleness_exponent=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Aggregation helper and history plumbing
+# ----------------------------------------------------------------------
+def test_mix_states_blends_and_preserves_dtypes():
+    base = {"w": np.zeros(4, dtype=np.float32), "steps": np.array(10, dtype=np.int64)}
+    update = {"w": np.ones(4, dtype=np.float32), "steps": np.array(20, dtype=np.int64)}
+    mixed = mix_states(base, update, 0.25)
+    np.testing.assert_allclose(mixed["w"], 0.25 * np.ones(4))
+    assert mixed["w"].dtype == np.float32
+    assert mixed["steps"].dtype == np.int64
+    assert int(mixed["steps"]) == 12  # rounded back
+    with pytest.raises(ValueError):
+        mix_states(base, update, 1.5)
+
+
+def test_history_client_rows_and_totals(data, model_fn, config):
+    train, val = data
+    history = FLSimulation(
+        model_fn, train, val, config, codec=FedSZCompressor(1e-2)
+    ).run()
+    rows = history.client_rows()
+    assert len(rows) == config.rounds * config.num_clients
+    assert {"round", "client", "ratio", "turnaround_seconds"} <= set(rows[0])
+    assert history.total_dropped_clients == 0
+    assert history.total_straggler_clients == 0
+    assert history.total_simulated_seconds > 0
+
+
+def test_facade_rejects_channel_and_transport_together(data, model_fn, config):
+    from repro.network import BandwidthModel, SimulatedChannel
+
+    train, val = data
+    with pytest.raises(ValueError):
+        FLSimulation(
+            model_fn, train, val, config,
+            channel=SimulatedChannel(BandwidthModel(10.0)),
+            transport=Transport.homogeneous(),
+        )
+
+
+def test_runtime_is_usable_directly(data, model_fn, config):
+    train, val = data
+    runtime = FederatedRuntime(model_fn, train, val, config, codec=IdentityCodec())
+    history = runtime.run(1)
+    assert len(history) == 1
+    assert runtime.channel is not None
+    assert runtime.transport.total_uplink_seconds() > 0

@@ -56,3 +56,22 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_cli_fl_subcommand_runs_layered_runtime(capsys):
+    exit_code = main(
+        [
+            "fl",
+            "--rounds", "1",
+            "--samples", "160",
+            "--clients", "2",
+            "--executor", "parallel",
+            "--workers", "2",
+            "--scheduler", "async",
+            "--per-client",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+    assert "turnaround_seconds" in out  # per-client table printed
