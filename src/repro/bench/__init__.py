@@ -1,0 +1,46 @@
+"""Performance benchmark subsystem.
+
+Three layers, mirroring the rest of the repo's architecture:
+
+* :mod:`repro.bench.harness` — warmup + min-of-N timing of named metrics,
+  with optional per-phase breakdowns recorded through the repo's
+  :class:`~repro.utils.timing.Timer`.
+* :mod:`repro.bench.workloads` — a registry of benchmark workloads: codec
+  state-dict compression, full FL rounds on the scheduler/executor/transport
+  stack, and Huffman/bitstream micro-benchmarks (timed against the scalar
+  references in :mod:`repro.compression.reference`).
+* :mod:`repro.bench.reporter` / :mod:`repro.bench.compare` — schema-versioned
+  ``BENCH_<workload>.json`` emission, human-readable tables, and a diff mode
+  that gates CI on regressions past a tolerance.
+
+Driven by ``python -m repro.cli bench``; see the README for usage.
+"""
+
+from repro.bench.compare import ComparisonResult, compare_reports, load_report
+from repro.bench.harness import BenchHarness, MetricRecord
+from repro.bench.reporter import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    render_report,
+    validate_report,
+    write_report,
+)
+from repro.bench.workloads import available_workloads, get_workload, run_workload
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
+    "BenchHarness",
+    "ComparisonResult",
+    "MetricRecord",
+    "available_workloads",
+    "build_report",
+    "compare_reports",
+    "get_workload",
+    "load_report",
+    "render_report",
+    "run_workload",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,173 @@
+"""Diff two BENCH reports and gate on regressions.
+
+``python -m repro.cli bench compare baseline.json current.json`` loads both
+files, matches metrics by name and flags every metric whose wall time grew by
+more than ``tolerance``x over the baseline.  CI commits a baseline under
+``benchmarks/baselines/`` and runs the comparison with a generous tolerance
+(2x by default) so scheduler noise on shared runners does not fail builds but
+a genuinely quadratic regression does.
+
+A metric present in the baseline but missing from the current run also fails
+the comparison — silently dropping a measurement is how regressions hide.
+Metrics only present in the current run are reported informationally.
+
+Sub-millisecond metrics are jitter-dominated on shared runners, so a ratio
+over tolerance only counts as a regression when the current measurement also
+exceeds ``min_seconds`` (default 1 ms); a genuinely super-linear regression
+of a micro-metric blows through that floor anyway.
+
+Because committed baselines are generated on a developer machine while the
+gate runs on (usually slower) shared CI runners, ``normalize=True`` divides
+every ratio by the median ratio across metrics before applying the
+tolerance.  A uniformly 2-3x slower machine then produces normalized ratios
+near 1.0 and passes, while one metric regressing relative to the others
+still fails.  The trade-off — an across-the-board regression hiding in the
+median — is acceptable for a smoke gate; absolute mode (the default) remains
+for same-machine comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.bench.reporter import validate_report
+from repro.experiments.reporting import render_table
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate one BENCH JSON file."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_report(document)
+    return document
+
+
+@dataclass
+class MetricComparison:
+    """Baseline-vs-current status for one metric."""
+
+    name: str
+    status: str  # "ok" | "regression" | "missing" | "new"
+    baseline_seconds: float = float("nan")
+    current_seconds: float = float("nan")
+    ratio: float = float("nan")
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "metric": self.name,
+            "baseline_s": self.baseline_seconds,
+            "current_s": self.current_seconds,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing two BENCH reports."""
+
+    workload: str
+    tolerance: float
+    comparisons: List[MetricComparison] = field(default_factory=list)
+    #: Median current/baseline ratio used to divide out machine speed
+    #: (1.0 when normalization is off).
+    speed_factor: float = 1.0
+
+    @property
+    def failures(self) -> List[MetricComparison]:
+        return [c for c in self.comparisons if c.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        header = (
+            f"bench compare — workload {self.workload!r}, tolerance {self.tolerance:g}x"
+            + (
+                f", machine-speed factor {self.speed_factor:.2f}x"
+                if self.speed_factor != 1.0
+                else ""
+            )
+            + ": "
+            + ("OK" if self.ok else f"{len(self.failures)} FAILURE(S)")
+        )
+        return header + "\n" + render_table([c.as_row() for c in self.comparisons])
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = 2.0,
+    min_seconds: float = 1e-3,
+    normalize: bool = False,
+) -> ComparisonResult:
+    """Compare two validated BENCH documents metric-by-metric."""
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if baseline.get("workload") != current.get("workload"):
+        raise ValueError(
+            f"workload mismatch: baseline is {baseline.get('workload')!r}, "
+            f"current is {current.get('workload')!r}"
+        )
+    result = ComparisonResult(workload=str(baseline.get("workload")), tolerance=tolerance)
+    baseline_metrics = baseline["metrics"]
+    current_metrics = current["metrics"]
+    raw_ratios: Dict[str, float] = {}
+    for name, base in baseline_metrics.items():
+        base_seconds = float(base["seconds"])
+        if name in current_metrics and base_seconds > 0:
+            raw_ratios[name] = float(current_metrics[name]["seconds"]) / base_seconds
+    speed_factor = 1.0
+    if normalize and raw_ratios:
+        # Estimate machine speed only from the metrics the gate can actually
+        # fail (above the noise floor): sub-floor micro-metrics are bound by
+        # call overhead, which scales differently across machines than the
+        # compute-bound work being gated.
+        eligible = [
+            ratio
+            for name, ratio in raw_ratios.items()
+            if float(current_metrics[name]["seconds"]) > min_seconds
+        ]
+        ordered = sorted(eligible or raw_ratios.values())
+        middle = len(ordered) // 2
+        median = (
+            ordered[middle]
+            if len(ordered) % 2
+            else (ordered[middle - 1] + ordered[middle]) / 2.0
+        )
+        speed_factor = max(median, 1e-12)
+    result.speed_factor = speed_factor
+    for name, base in baseline_metrics.items():
+        base_seconds = float(base["seconds"])
+        if name not in current_metrics:
+            result.comparisons.append(
+                MetricComparison(name=name, status="missing", baseline_seconds=base_seconds)
+            )
+            continue
+        current_seconds = float(current_metrics[name]["seconds"])
+        if base_seconds > 0:
+            ratio = raw_ratios[name] / speed_factor
+        else:
+            ratio = float("inf")
+        regressed = ratio > tolerance and current_seconds > min_seconds
+        status = "regression" if regressed else "ok"
+        result.comparisons.append(
+            MetricComparison(
+                name=name,
+                status=status,
+                baseline_seconds=base_seconds,
+                current_seconds=current_seconds,
+                ratio=ratio,
+            )
+        )
+    for name, metric in current_metrics.items():
+        if name not in baseline_metrics:
+            result.comparisons.append(
+                MetricComparison(
+                    name=name, status="new", current_seconds=float(metric["seconds"])
+                )
+            )
+    return result

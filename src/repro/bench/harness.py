@@ -1,0 +1,129 @@
+"""Timing harness: warmup + min-of-N wall timing with per-phase breakdowns.
+
+Minimum-of-N is the standard defence against scheduler noise for CPU-bound
+benchmarks: the fastest repeat is the one least disturbed by the rest of the
+machine.  Each measured callable receives a
+:class:`~repro.utils.timing.Timer` so workloads can attribute portions of the
+wall time to named phases (e.g. ``compress`` / ``decompress``); the breakdown
+reported is the one from the fastest repeat so phases always sum to (at most)
+the reported wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.utils.timing import Timer
+
+
+@dataclass
+class MetricRecord:
+    """One measured metric inside a workload."""
+
+    name: str
+    #: Fastest repeat, in seconds — the headline number compares gate on.
+    seconds: float
+    mean_seconds: float
+    repeats: int
+    warmup: int
+    #: Work-size annotations used to derive throughput (optional).
+    items: Optional[int] = None
+    nbytes: Optional[int] = None
+    #: Per-phase seconds from the fastest repeat.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Free-form metadata (compression ratios, shapes, ...).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def items_per_second(self) -> Optional[float]:
+        if self.items is None or self.seconds <= 0.0:
+            return None
+        return self.items / self.seconds
+
+    @property
+    def mb_per_second(self) -> Optional[float]:
+        if self.nbytes is None or self.seconds <= 0.0:
+            return None
+        return self.nbytes / 1e6 / self.seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "seconds": self.seconds,
+            "mean_seconds": self.mean_seconds,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+        if self.items is not None:
+            payload["items"] = self.items
+            payload["items_per_second"] = self.items_per_second
+        if self.nbytes is not None:
+            payload["nbytes"] = self.nbytes
+            payload["mb_per_second"] = self.mb_per_second
+        if self.phases:
+            payload["phases"] = dict(self.phases)
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+
+class BenchHarness:
+    """Collects :class:`MetricRecord` entries for one workload run.
+
+    Workload functions receive a harness and call :meth:`measure` once per
+    metric.  The measured callable takes a single ``Timer`` argument (which it
+    may ignore) and is invoked ``warmup`` untimed times followed by
+    ``repeats`` timed times.
+    """
+
+    def __init__(self, warmup: int = 1, repeats: int = 3) -> None:
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        if repeats < 1:
+            raise ValueError(f"repeats must be positive, got {repeats}")
+        self.warmup = warmup
+        self.repeats = repeats
+        self._records: List[MetricRecord] = []
+
+    @property
+    def records(self) -> List[MetricRecord]:
+        """Metrics measured so far, in insertion order."""
+        return list(self._records)
+
+    def measure(
+        self,
+        name: str,
+        fn: Callable[[Timer], Any],
+        *,
+        items: Optional[int] = None,
+        nbytes: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> MetricRecord:
+        """Time ``fn`` with warmup + min-of-N and record the result."""
+        if any(record.name == name for record in self._records):
+            raise ValueError(f"duplicate metric name {name!r}")
+        for _ in range(self.warmup):
+            fn(Timer())
+        wall_times: List[float] = []
+        phase_snapshots: List[Dict[str, float]] = []
+        for _ in range(self.repeats):
+            timer = Timer()
+            start = time.perf_counter()
+            fn(timer)
+            wall_times.append(time.perf_counter() - start)
+            phase_snapshots.append(timer.as_dict())
+        fastest = min(range(self.repeats), key=wall_times.__getitem__)
+        record = MetricRecord(
+            name=name,
+            seconds=wall_times[fastest],
+            mean_seconds=sum(wall_times) / len(wall_times),
+            repeats=self.repeats,
+            warmup=self.warmup,
+            items=items,
+            nbytes=nbytes,
+            phases=phase_snapshots[fastest],
+            extra=dict(extra) if extra else {},
+        )
+        self._records.append(record)
+        return record

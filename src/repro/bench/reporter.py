@@ -1,0 +1,120 @@
+"""Schema-versioned ``BENCH_<workload>.json`` reports and human-readable tables.
+
+The JSON layout is intentionally flat and stable so that baselines can be
+committed (``benchmarks/baselines/``) and diffed by :mod:`repro.bench.compare`
+across commits:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench",
+      "schema_version": 1,
+      "workload": "tiny",
+      "created_at": "2026-07-29T12:00:00+00:00",
+      "environment": {"python": "3.12.3", "numpy": "2.1.0", "platform": "..."},
+      "config": {"warmup": 1, "repeats": 3},
+      "metrics": {"huffman_encode": {"seconds": 0.0021, "...": "..."}}
+    }
+
+``schema_version`` is bumped on any breaking layout change; readers reject
+files whose version they do not understand.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, Union
+
+import numpy as np
+
+from repro.bench.harness import MetricRecord
+from repro.experiments.reporting import render_table
+
+BENCH_SCHEMA = "repro.bench"
+BENCH_SCHEMA_VERSION = 1
+
+
+def build_report(
+    workload: str,
+    records: Iterable[MetricRecord],
+    *,
+    warmup: int,
+    repeats: int,
+) -> Dict[str, Any]:
+    """Assemble the schema-versioned report dictionary for one workload run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "config": {"warmup": warmup, "repeats": repeats},
+        "metrics": {record.name: record.as_dict() for record in records},
+    }
+
+
+def validate_report(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a readable BENCH document."""
+    if not isinstance(report, dict):
+        raise ValueError("BENCH report must be a JSON object")
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"not a BENCH report: schema={report.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported BENCH schema_version {version!r}; this reader handles "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("BENCH report is missing its 'metrics' object")
+    for name, payload in metrics.items():
+        if not isinstance(payload, dict) or "seconds" not in payload:
+            raise ValueError(f"BENCH metric {name!r} is missing 'seconds'")
+
+
+def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write ``report`` as pretty-printed JSON and return the destination."""
+    destination = Path(path)
+    if destination.parent != Path("."):
+        destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return destination
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable table for one report."""
+    rows = []
+    for name, metric in report["metrics"].items():
+        row: Dict[str, Any] = {
+            "metric": name,
+            "seconds": metric["seconds"],
+            "mean_seconds": metric.get("mean_seconds"),
+        }
+        if metric.get("items_per_second") is not None:
+            row["items/s"] = metric["items_per_second"]
+        if metric.get("mb_per_second") is not None:
+            row["MB/s"] = metric["mb_per_second"]
+        phases = metric.get("phases") or {}
+        if phases:
+            row["phases"] = ", ".join(f"{k}={v:.4f}s" for k, v in phases.items())
+        rows.append(row)
+    header = (
+        f"BENCH {report['workload']} (schema v{report['schema_version']}, "
+        f"warmup={report['config']['warmup']}, repeats={report['config']['repeats']})"
+    )
+    return header + "\n" + render_table(rows)
+
+
+def default_output_path(workload: str) -> Path:
+    """Conventional output filename for one workload."""
+    return Path(f"BENCH_{workload}.json")

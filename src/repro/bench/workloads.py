@@ -1,0 +1,286 @@
+"""Benchmark workload registry.
+
+A workload is a function that receives a :class:`BenchHarness` and measures a
+handful of named metrics.  Workloads cover the three performance-critical
+layers of the repo:
+
+* entropy-coding micro-benchmarks (``huffman``, ``bitstream``) that time the
+  vectorised hot paths against the scalar references in
+  :mod:`repro.compression.reference`, keeping the speedup visible in the
+  emitted JSON;
+* per-codec state-dict compression (``codecs``) through the full FedSZ
+  pipeline for each of SZ2/SZ3/SZx/ZFP;
+* a full federated round (``fl_round``) on the scheduler/executor/transport
+  stack from :mod:`repro.fl`;
+* a fast composite (``tiny``) sized for CI smoke runs.
+
+Register new workloads with :func:`register_workload`; the CLI exposes them
+via ``python -m repro.cli bench --workload <name>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.bench.harness import BenchHarness, MetricRecord
+
+WorkloadFn = Callable[[BenchHarness], None]
+
+_WORKLOADS: Dict[str, "WorkloadSpec"] = {}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named benchmark workload."""
+
+    name: str
+    description: str
+    fn: WorkloadFn
+
+
+def register_workload(name: str, description: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Decorator registering ``fn`` as a benchmark workload."""
+
+    def decorator(fn: WorkloadFn) -> WorkloadFn:
+        _WORKLOADS[name.lower()] = WorkloadSpec(name=name.lower(), description=description, fn=fn)
+        return fn
+
+    return decorator
+
+
+def available_workloads() -> List[WorkloadSpec]:
+    """All registered workloads, sorted by name."""
+    return [_WORKLOADS[name] for name in sorted(_WORKLOADS)]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up one workload by name."""
+    try:
+        return _WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
+        ) from None
+
+
+def run_workload(name: str, warmup: int = 1, repeats: int = 3) -> List[MetricRecord]:
+    """Run one workload under a fresh harness and return its metrics."""
+    spec = get_workload(name)
+    harness = BenchHarness(warmup=warmup, repeats=repeats)
+    spec.fn(harness)
+    return harness.records
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures
+# ----------------------------------------------------------------------
+def _quantization_like_symbols(size: int, seed: int = 0) -> np.ndarray:
+    """Skewed integers shaped like error-bounded quantization indices."""
+    rng = np.random.default_rng(seed)
+    values = np.round(rng.laplace(scale=2.0, size=size)).astype(np.int64)
+    return np.clip(values, -64, 64)
+
+
+def _tiny_state_dict(seed: int = 0) -> Dict[str, np.ndarray]:
+    from repro.nn.models import create_model
+
+    return create_model("mobilenetv2", "tiny", seed=seed).state_dict()
+
+
+def _state_dict_nbytes(state: Dict[str, np.ndarray]) -> int:
+    return int(sum(np.asarray(tensor).nbytes for tensor in state.values()))
+
+
+def _measure_huffman(harness: BenchHarness, symbols: np.ndarray, with_reference: bool) -> None:
+    from repro.compression.huffman import HuffmanCode, HuffmanCodec
+    from repro.compression.reference import ReferenceHuffmanCodec
+
+    codec = HuffmanCodec()
+    payload = codec.encode(symbols)
+    table = HuffmanCode.from_symbols(symbols).serialize_table()
+    extra = {"payload_bytes": len(payload)}
+    harness.measure(
+        "huffman_encode",
+        lambda timer: codec.encode(symbols),
+        items=int(symbols.size),
+        nbytes=int(symbols.nbytes),
+        extra=extra,
+    )
+    harness.measure(
+        "huffman_decode",
+        lambda timer: codec.decode(payload),
+        items=int(symbols.size),
+        nbytes=int(symbols.nbytes),
+    )
+    harness.measure(
+        "huffman_table_deserialize",
+        lambda timer: HuffmanCode.deserialize_table(table),
+        nbytes=len(table),
+    )
+    if with_reference:
+        reference = ReferenceHuffmanCodec()
+        harness.measure(
+            "huffman_encode_reference",
+            lambda timer: reference.encode(symbols),
+            items=int(symbols.size),
+            nbytes=int(symbols.nbytes),
+        )
+        harness.measure(
+            "huffman_decode_reference",
+            lambda timer: reference.decode(payload),
+            items=int(symbols.size),
+            nbytes=int(symbols.nbytes),
+        )
+
+
+def _measure_bitstream(harness: BenchHarness, num_bits: int, num_flags: int, with_reference: bool) -> None:
+    from repro.compression.bitstream import BitReader, BitWriter, pack_bit_flags
+    from repro.compression.reference import (
+        ReferenceBitReader,
+        ReferenceBitWriter,
+        reference_pack_bit_flags,
+    )
+
+    rng = np.random.default_rng(1)
+    single_bits = rng.integers(0, 2, size=num_bits).tolist()
+    flags = rng.random(num_flags) < 0.3
+    values = rng.integers(0, 2**24, size=max(num_bits // 24, 1)).astype(np.uint64)
+
+    def _write_bit_stream(writer_cls):
+        def run(timer):
+            writer = writer_cls()
+            for bit in single_bits:
+                writer.write_bit(bit)
+            return writer.getvalue()
+
+        return run
+
+    harness.measure("bitwriter_write_bit", _write_bit_stream(BitWriter), items=num_bits)
+    harness.measure(
+        "bitwriter_fixed_width",
+        lambda timer: (lambda w: (w.write_fixed_width(values, 24), w.getvalue()))(BitWriter()),
+        items=int(values.size),
+    )
+
+    wide_writer = BitWriter()
+    wide_writer.write_fixed_width(values, 24)
+    wide_payload = wide_writer.getvalue()
+    wide_bits = wide_writer.bit_count
+    read_width = 1024
+    num_reads = wide_bits // read_width
+
+    def _read_bits_stream(reader_cls):
+        def run(timer):
+            reader = reader_cls(wide_payload, bit_count=wide_bits)
+            for _ in range(num_reads):
+                reader.read_bits(read_width)
+
+        return run
+
+    harness.measure("bitreader_read_bits", _read_bits_stream(BitReader), items=num_reads)
+    harness.measure("pack_bit_flags", lambda timer: pack_bit_flags(flags), items=num_flags)
+    if with_reference:
+        harness.measure(
+            "bitwriter_write_bit_reference",
+            _write_bit_stream(ReferenceBitWriter),
+            items=num_bits,
+        )
+        harness.measure(
+            "bitreader_read_bits_reference",
+            _read_bits_stream(ReferenceBitReader),
+            items=num_reads,
+        )
+        flag_list = flags.tolist()
+        harness.measure(
+            "pack_bit_flags_reference",
+            lambda timer: reference_pack_bit_flags(flag_list),
+            items=num_flags,
+        )
+
+
+def _measure_codec(harness: BenchHarness, name: str, state: Dict[str, np.ndarray], error_bound: float) -> None:
+    from repro.core import FedSZCompressor
+
+    codec = FedSZCompressor(error_bound=error_bound, lossy_compressor=name)
+    payload = codec.compress(state)
+    nbytes = _state_dict_nbytes(state)
+
+    def run(timer):
+        with timer.measure("compress"):
+            blob = codec.compress(state)
+        with timer.measure("decompress"):
+            codec.decompress(blob)
+
+    harness.measure(
+        f"codec_{name}_roundtrip",
+        run,
+        nbytes=nbytes,
+        extra={"compressed_bytes": len(payload), "ratio": nbytes / max(len(payload), 1)},
+    )
+
+
+def _run_fl_round(harness: BenchHarness, metric: str, samples: int, clients: int) -> None:
+    from repro.core import FedSZCompressor
+    from repro.experiments.workloads import build_federated_setup
+    from repro.fl import FLSimulation, Transport, edge_fleet_specs
+
+    setup = build_federated_setup(
+        model_name="alexnet",
+        num_clients=clients,
+        rounds=1,
+        samples=samples,
+        local_epochs=1,
+        seed=7,
+    )
+    simulation = FLSimulation(
+        setup.model_fn,
+        setup.train_dataset,
+        setup.validation_dataset,
+        setup.config,
+        codec=FedSZCompressor(error_bound=1e-2),
+        transport=Transport.heterogeneous(edge_fleet_specs(clients)),
+    )
+
+    # Each warmup/timed call executes one additional federated round so setup
+    # cost stays out of the measurement and every repeat does the same work.
+    def run(timer):
+        with timer.measure("round"):
+            return simulation.runtime.run_round()
+
+    harness.measure(metric, run, items=clients, extra={"samples": samples, "clients": clients})
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+@register_workload("huffman", "Huffman encode/decode micro-benchmark vs the scalar reference")
+def _workload_huffman(harness: BenchHarness) -> None:
+    _measure_huffman(harness, _quantization_like_symbols(200_000), with_reference=True)
+
+
+@register_workload("bitstream", "BitWriter/BitReader/pack_bit_flags micro-benchmark vs the scalar reference")
+def _workload_bitstream(harness: BenchHarness) -> None:
+    _measure_bitstream(harness, num_bits=30_000, num_flags=500_000, with_reference=True)
+
+
+@register_workload("codecs", "Per-codec FedSZ state-dict compression round-trips (SZ2/SZ3/SZx/ZFP)")
+def _workload_codecs(harness: BenchHarness) -> None:
+    state = _tiny_state_dict()
+    for name in ("sz2", "sz3", "szx", "zfp"):
+        _measure_codec(harness, name, state, error_bound=1e-2)
+
+
+@register_workload("fl_round", "One federated round on the scheduler/executor/transport stack")
+def _workload_fl_round(harness: BenchHarness) -> None:
+    _run_fl_round(harness, "fl_round", samples=240, clients=4)
+
+
+@register_workload("tiny", "Fast composite for CI smoke runs (codec + entropy + FL round)")
+def _workload_tiny(harness: BenchHarness) -> None:
+    _measure_huffman(harness, _quantization_like_symbols(30_000), with_reference=False)
+    _measure_bitstream(harness, num_bits=5_000, num_flags=50_000, with_reference=False)
+    _measure_codec(harness, "sz2", _tiny_state_dict(), error_bound=1e-2)
+    _run_fl_round(harness, "fl_round_tiny", samples=120, clients=2)

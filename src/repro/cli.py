@@ -8,12 +8,19 @@ Usage::
     python -m repro.cli run all --quick --output results/
     python -m repro.cli fl --scheduler semi-sync --deadline 2.0 \
         --executor parallel --workers 4 --heterogeneous --straggler 2
+    python -m repro.cli bench list
+    python -m repro.cli bench --workload tiny --out BENCH_tiny.json
+    python -m repro.cli bench compare benchmarks/baselines/tiny.json BENCH_tiny.json
 
 ``run`` regenerates one of the paper's tables/figures (``--quick`` shrinks
 the workload so a full sweep completes in a few minutes).  ``fl`` drives the
 layered federated runtime directly: pick a round scheduler (sync / semi-sync
 / async), an executor (serial / parallel) and a transport (homogeneous or a
-heterogeneous edge fleet with injected stragglers and dropout).
+heterogeneous edge fleet with injected stragglers and dropout).  ``bench``
+runs the performance workloads from :mod:`repro.bench`, writes a
+schema-versioned ``BENCH_<workload>.json`` and, in ``compare`` mode, diffs
+two BENCH files and exits nonzero when a metric regressed past the
+tolerance.
 """
 
 from __future__ import annotations
@@ -234,7 +241,95 @@ def build_parser() -> argparse.ArgumentParser:
     fl_parser.add_argument("--seed", type=int, default=0)
     fl_parser.add_argument("--per-client", action="store_true",
                            help="also print per-client round stats")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run performance benchmarks / compare BENCH JSON files"
+    )
+    bench_parser.add_argument(
+        "mode", nargs="?", default="run", choices=["run", "compare", "list"],
+        help="'run' (default) times a workload, 'compare' diffs two BENCH "
+             "files, 'list' shows available workloads",
+    )
+    bench_parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="compare mode: <baseline.json> <current.json>",
+    )
+    bench_parser.add_argument("--workload", default="tiny",
+                              help="workload name (see 'bench list')")
+    bench_parser.add_argument("--out", type=Path, default=None,
+                              help="output JSON path (default BENCH_<workload>.json)")
+    bench_parser.add_argument("--warmup", type=int, default=1,
+                              help="untimed warmup calls per metric")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="timed repeats per metric (min is reported)")
+    bench_parser.add_argument("--tolerance", type=float, default=2.0,
+                              help="compare mode: fail when current/baseline exceeds this ratio")
+    bench_parser.add_argument("--min-seconds", type=float, default=1e-3,
+                              help="compare mode: ignore regressions whose current "
+                                   "time is below this noise floor")
+    bench_parser.add_argument("--normalize", action="store_true",
+                              help="compare mode: divide ratios by their median to "
+                                   "cancel overall machine-speed differences "
+                                   "(for gating CI runs against a dev-machine baseline)")
     return parser
+
+
+def _run_bench(arguments) -> int:
+    from repro.bench import (
+        available_workloads,
+        build_report,
+        compare_reports,
+        load_report,
+        render_report,
+        run_workload,
+        write_report,
+    )
+    from repro.bench.reporter import default_output_path
+
+    if arguments.mode == "list":
+        for spec in available_workloads():
+            print(f"{spec.name:12s} {spec.description}")
+        return 0
+
+    if arguments.mode == "compare":
+        if len(arguments.paths) != 2:
+            print("bench compare needs exactly two paths: <baseline.json> <current.json>",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_report(arguments.paths[0])
+            current = load_report(arguments.paths[1])
+            result = compare_reports(
+                baseline,
+                current,
+                tolerance=arguments.tolerance,
+                min_seconds=arguments.min_seconds,
+                normalize=arguments.normalize,
+            )
+        except (OSError, ValueError, KeyError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0 if result.ok else 1
+
+    try:
+        records = run_workload(
+            arguments.workload, warmup=arguments.warmup, repeats=arguments.repeats
+        )
+    except (KeyError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    report = build_report(
+        arguments.workload.lower(),
+        records,
+        warmup=arguments.warmup,
+        repeats=arguments.repeats,
+    )
+    destination = arguments.out or default_output_path(arguments.workload.lower())
+    write_report(report, destination)
+    print(render_report(report))
+    print(f"wrote {destination}")
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -244,6 +339,9 @@ def main(argv: Optional[list] = None) -> int:
         for name in available_experiments():
             print(name)
         return 0
+
+    if arguments.command == "bench":
+        return _run_bench(arguments)
 
     if arguments.command == "fl":
         try:

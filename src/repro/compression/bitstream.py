@@ -8,18 +8,48 @@ analogues, which store many small fixed-width integers.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 
 from repro.compression.errors import CorruptPayloadError
+
+#: A queued write: either a ready bit array or a pending scalar
+#: ``(value, width)`` append.  Scalar appends are expanded lazily so that a
+#: long run of ``write_bit``/``write_bits`` calls costs one list append each
+#: and a single vectorised expansion at render time.
+_Part = Union[np.ndarray, Tuple[int, int]]
+
+
+def expand_msb_first(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Expand variable-width codewords into one flat MSB-first bit array.
+
+    ``values[i]`` contributes its ``widths[i]`` least-significant bits, most
+    significant first — the shared kernel behind both the lazy
+    :class:`BitWriter` render and the vectorised Huffman encoder.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    ends = np.cumsum(widths)
+    starts = ends - widths
+    total = int(ends[-1]) if widths.size else 0
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, widths)
+    shifts = (np.repeat(widths, widths) - 1 - within).astype(np.uint64)
+    return ((np.repeat(values, widths) >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+def _expand_scalar_writes(pending: List[Tuple[int, int]]) -> np.ndarray:
+    """Expand queued ``(value, width)`` appends into one MSB-first bit array."""
+    values = np.fromiter((value for value, _ in pending), dtype=np.uint64, count=len(pending))
+    widths = np.fromiter((width for _, width in pending), dtype=np.int64, count=len(pending))
+    return expand_msb_first(values, widths)
 
 
 class BitWriter:
     """Accumulates bits most-significant-bit first and renders them to bytes."""
 
     def __init__(self) -> None:
-        self._chunks: List[np.ndarray] = []
+        self._parts: List[_Part] = []
         self._bit_count = 0
 
     @property
@@ -29,7 +59,7 @@ class BitWriter:
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
-        self._chunks.append(np.asarray([bit & 1], dtype=np.uint8))
+        self._parts.append((bit & 1, 1))
         self._bit_count += 1
 
     def write_bits(self, value: int, width: int) -> None:
@@ -38,15 +68,22 @@ class BitWriter:
             raise ValueError(f"bit width must be non-negative, got {width}")
         if width == 0:
             return
-        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-        bits = ((int(value) >> shifts) & 1).astype(np.uint8)
-        self._chunks.append(bits)
+        value = int(value) & ((1 << width) - 1)
+        if width <= 64:
+            self._parts.append((value, width))
+        else:
+            bits = np.fromiter(
+                ((value >> (width - 1 - i)) & 1 for i in range(width)),
+                dtype=np.uint8,
+                count=width,
+            )
+            self._parts.append(bits)
         self._bit_count += width
 
     def write_bit_array(self, bits: np.ndarray) -> None:
         """Append a flat array of 0/1 values."""
         bits = np.asarray(bits, dtype=np.uint8).ravel() & 1
-        self._chunks.append(bits)
+        self._parts.append(bits)
         self._bit_count += bits.size
 
     def write_fixed_width(self, values: np.ndarray, width: int) -> None:
@@ -62,15 +99,26 @@ class BitWriter:
             return
         shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
         bits = ((values[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
-        self._chunks.append(bits.ravel())
+        self._parts.append(bits.ravel())
         self._bit_count += values.size * width
 
     def getvalue(self) -> bytes:
         """Render all written bits as bytes (zero-padded to a byte boundary)."""
-        if not self._chunks:
+        if not self._parts:
             return b""
-        bits = np.concatenate(self._chunks)
-        return np.packbits(bits).tobytes()
+        chunks: List[np.ndarray] = []
+        pending: List[Tuple[int, int]] = []
+        for part in self._parts:
+            if isinstance(part, tuple):
+                pending.append(part)
+                continue
+            if pending:
+                chunks.append(_expand_scalar_writes(pending))
+                pending = []
+            chunks.append(part)
+        if pending:
+            chunks.append(_expand_scalar_writes(pending))
+        return np.packbits(np.concatenate(chunks)).tobytes()
 
 
 class BitReader:
@@ -107,10 +155,9 @@ class BitReader:
             raise CorruptPayloadError("attempted to read past the end of the bitstream")
         chunk = self._bits[self._position : self._position + width]
         self._position += width
-        value = 0
-        for bit in chunk:
-            value = (value << 1) | int(bit)
-        return value
+        # Pack the chunk back to bytes and let Python's big-int constructor do
+        # the bit folding; packbits zero-pads the final byte on the LSB side.
+        return int.from_bytes(np.packbits(chunk).tobytes(), "big") >> ((-width) % 8)
 
     def read_bit_array(self, count: int) -> np.ndarray:
         """Read ``count`` raw bits as a uint8 array."""
@@ -136,7 +183,9 @@ class BitReader:
 
 def pack_bit_flags(flags: Iterable[bool]) -> bytes:
     """Pack a sequence of booleans into bytes (MSB-first within each byte)."""
-    array = np.fromiter((1 if flag else 0 for flag in flags), dtype=np.uint8)
+    if not isinstance(flags, (np.ndarray, list, tuple)):
+        flags = list(flags)
+    array = (np.asarray(flags) != 0).astype(np.uint8)
     return np.packbits(array).tobytes()
 
 

@@ -7,9 +7,14 @@ self-contained canonical Huffman codec with:
 * a heap-based code construction (:func:`build_code_lengths`),
 * canonical code assignment so that only the (symbol, length) table needs to
   be serialized,
-* a fully vectorised encoder (bit placement is done with numpy, looping only
-  over the distinct bit positions of the longest codeword),
-* a table-driven decoder.
+* a fully vectorised encoder (every payload bit is placed by one
+  repeat/cumsum expansion, with no Python loop at all),
+* a table-driven decoder whose symbol walk is vectorised with
+  pointer-doubling over the per-position jump table.
+
+The scalar implementations these paths replaced live on in
+:mod:`repro.compression.reference`; round-trip tests assert the vectorised
+codec is bit-identical to them.
 
 The codec operates on arbitrary integer symbols; callers are expected to map
 their data (e.g. quantization indices) onto integers first.
@@ -28,6 +33,8 @@ import numpy as np
 from repro.compression.errors import CorruptPayloadError
 
 _TABLE_STRUCT = struct.Struct("<IQ")
+#: numpy mirror of ``_TABLE_STRUCT`` so whole tables (de)serialize in one shot.
+_TABLE_DTYPE = np.dtype([("length", "<u4"), ("symbol", "<u8")])
 
 
 def build_frequency_table(symbols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -136,24 +143,25 @@ class HuffmanCode:
         """Number of payload bits needed to encode ``data`` with this book."""
         if self.symbols.size == 0:
             return 0
-        lookup = self._symbol_to_index()
-        indices = np.array([lookup[int(s)] for s in np.unique(data)], dtype=np.int64)
         unique, counts = build_frequency_table(data)
-        del unique
-        return int(np.sum(counts * self.lengths[indices]))
-
-    def _symbol_to_index(self) -> Dict[int, int]:
-        return {int(symbol): index for index, symbol in enumerate(self.symbols)}
+        order = np.argsort(self.symbols)
+        sorted_symbols = self.symbols[order]
+        found = np.searchsorted(sorted_symbols, unique)
+        clipped = np.minimum(found, sorted_symbols.size - 1)
+        known = (found < sorted_symbols.size) & (sorted_symbols[clipped] == unique)
+        if not np.all(known):
+            raise KeyError(f"symbol {int(unique[~known][0])} is not in the code book")
+        return int(np.sum(counts * self.lengths[order[found]]))
 
     # ------------------------------------------------------------------
     # Table serialization
     # ------------------------------------------------------------------
     def serialize_table(self) -> bytes:
         """Serialize the (symbol, length) table; codes are re-derived on load."""
-        parts = [struct.pack("<I", self.symbols.size)]
-        for symbol, length in zip(self.symbols, self.lengths):
-            parts.append(_TABLE_STRUCT.pack(int(length), int(np.uint64(np.int64(symbol)))))
-        return b"".join(parts)
+        records = np.zeros(self.symbols.size, dtype=_TABLE_DTYPE)
+        records["length"] = self.lengths.astype(np.uint32)
+        records["symbol"] = self.symbols.astype(np.int64).view(np.uint64)
+        return struct.pack("<I", self.symbols.size) + records.tobytes()
 
     @classmethod
     def deserialize_table(cls, payload: bytes) -> "HuffmanCode":
@@ -165,13 +173,9 @@ class HuffmanCode:
         expected = offset + count * _TABLE_STRUCT.size
         if len(payload) < expected:
             raise CorruptPayloadError("Huffman table payload truncated")
-        symbols = np.zeros(count, dtype=np.int64)
-        lengths = np.zeros(count, dtype=np.int64)
-        for i in range(count):
-            length, symbol_bits = _TABLE_STRUCT.unpack_from(payload, offset)
-            offset += _TABLE_STRUCT.size
-            lengths[i] = length
-            symbols[i] = np.int64(np.uint64(symbol_bits))
+        records = np.frombuffer(payload, dtype=_TABLE_DTYPE, count=count, offset=offset)
+        lengths = records["length"].astype(np.int64)
+        symbols = records["symbol"].copy().view(np.int64)
         ordered_symbols, ordered_lengths, codes = assign_canonical_codes(symbols, lengths)
         return cls(symbols=ordered_symbols, lengths=ordered_lengths, codes=codes)
 
@@ -217,14 +221,26 @@ class HuffmanCodec:
         index_of_sorted = sort_order[indices]
         lengths = code.lengths[index_of_sorted]
         codewords = code.codes[index_of_sorted]
+        total_bits = int(np.sum(lengths))
+        if total_bits > HuffmanCodec._VECTOR_PATH_LIMIT_BITS:
+            return HuffmanCodec._encode_bits_per_position(
+                codewords, lengths, total_bits, code.max_length
+            )
+        # Expand every codeword to its bits in one shared-kernel pass.
+        from repro.compression.bitstream import expand_msb_first
+
+        return np.packbits(expand_msb_first(codewords, lengths)).tobytes(), total_bits
+
+    @staticmethod
+    def _encode_bits_per_position(
+        codewords: np.ndarray, lengths: np.ndarray, total_bits: int, max_length: int
+    ) -> Tuple[bytes, int]:
+        """Low-memory encoder: one pass per bit position of the longest
+        codeword (~1 byte per payload bit transient, vs ~30 for the
+        single-pass expansion — the symmetric guard to the decode fallback)."""
         ends = np.cumsum(lengths)
         starts = ends - lengths
-        total_bits = int(ends[-1])
         bits = np.zeros(total_bits, dtype=np.uint8)
-        max_length = code.max_length
-        # Place bit j (counted from the MSB of each codeword) for all symbols
-        # whose codeword is longer than j.  This loops max_length times, with
-        # all per-symbol work vectorised.
         for j in range(max_length):
             mask = lengths > j
             if not np.any(mask):
@@ -246,7 +262,8 @@ class HuffmanCodec:
         return HuffmanCodec._decode_bit_by_bit(bits, count, code)
 
     @staticmethod
-    def _decode_with_table(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+    def _build_decode_table(code: HuffmanCode) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-window lookup table: window value -> (symbol, consumed bits)."""
         max_length = code.max_length
         table_symbols = np.zeros(1 << max_length, dtype=np.int64)
         table_lengths = np.zeros(1 << max_length, dtype=np.int64)
@@ -256,7 +273,68 @@ class HuffmanCodec:
             span = 1 << (max_length - length)
             table_symbols[prefix : prefix + span] = symbol
             table_lengths[prefix : prefix + span] = length
-        # Pad the tail so that a full max_length window can always be read.
+        return table_symbols, table_lengths
+
+    #: Above this payload size the vectorised walk's ~9 B/bit transient
+    #: footprint (windows + jump table + doubling copies) outweighs its speed;
+    #: fall back to the 1 B/bit scalar walk instead of risking OOM.
+    _VECTOR_PATH_LIMIT_BITS = 1 << 27  # 128 Mibit ≈ 1.2 GB transient
+
+    @staticmethod
+    def _decode_with_table(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+        max_length = code.max_length
+        table_symbols, table_lengths = HuffmanCodec._build_decode_table(code)
+        total_bits = int(bits.size)
+        if total_bits == 0:
+            raise CorruptPayloadError("Huffman bitstream exhausted before all symbols decoded")
+        if total_bits > HuffmanCodec._VECTOR_PATH_LIMIT_BITS:
+            return HuffmanCodec._decode_with_table_scalar(
+                bits, count, code, table_symbols, table_lengths
+            )
+        # Positions fit int32 for payloads under 2 Gib; large tensors decode in
+        # half the transient memory that way.
+        position_dtype = np.int32 if total_bits + max_length < 2**31 else np.int64
+        # Window value at every bit position (zero-padded past the tail), built
+        # with max_length shift/or passes instead of a per-symbol Python loop.
+        # max_length <= 20, so windows fit int32.
+        padded = np.concatenate([bits, np.zeros(max_length, dtype=np.uint8)]).astype(np.int32)
+        windows = np.zeros(total_bits, dtype=np.int32)
+        for j in range(max_length):
+            windows = (windows << 1) | padded[j : j + total_bits]
+        del padded
+        # steps[p] = bits consumed by the codeword starting at position p
+        # (0 marks an invalid window).  The decode walk is the chain
+        # p -> p + steps[p] starting at 0; enumerate it with pointer doubling
+        # so the whole walk stays vectorised: after k rounds `visited` holds
+        # the first 2**k chain positions and `jump` advances 2**k steps.
+        steps = table_lengths[windows].astype(np.int8)
+        positions = np.arange(total_bits, dtype=position_dtype)
+        advanced = np.minimum(positions + steps, total_bits).astype(position_dtype)
+        # Invalid windows self-loop so the chain stalls there instead of
+        # running past the corruption; position `total_bits` is absorbing.
+        jump = np.append(np.where(steps > 0, advanced, positions), position_dtype(total_bits))
+        del positions, advanced
+        visited = np.zeros(1, dtype=position_dtype)
+        while visited.size < count:
+            visited = np.concatenate([visited, jump[visited]])
+            jump = jump[jump]
+        visited = visited[:count]
+        if int(visited[-1]) >= total_bits:
+            raise CorruptPayloadError("Huffman bitstream exhausted before all symbols decoded")
+        if np.any(steps[visited] == 0):
+            raise CorruptPayloadError("invalid Huffman codeword encountered")
+        return table_symbols[windows[visited]]
+
+    @staticmethod
+    def _decode_with_table_scalar(
+        bits: np.ndarray,
+        count: int,
+        code: HuffmanCode,
+        table_symbols: np.ndarray,
+        table_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Sequential table walk — O(1 byte/bit) memory for huge payloads."""
+        max_length = code.max_length
         padded = np.concatenate([bits, np.zeros(max_length, dtype=np.uint8)])
         weights = 1 << np.arange(max_length - 1, -1, -1)
         output = np.empty(count, dtype=np.int64)

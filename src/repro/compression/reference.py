@@ -1,0 +1,193 @@
+"""Pre-vectorization reference implementations of the codec hot paths.
+
+When the Huffman and bitstream inner loops were vectorised, the original
+scalar implementations moved here instead of being deleted.  They serve two
+purposes:
+
+* round-trip tests assert the vectorised paths are **bit-identical** to these
+  references on every edge case (empty input, single-symbol alphabet, large
+  alphabets, max-length codewords), and
+* the ``huffman`` / ``bitstream`` micro-benchmarks time the references
+  alongside the production paths so the speedup stays visible in
+  ``BENCH_*.json`` and regressions below the asserted 3x floor are caught.
+
+Nothing in the production pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.compression.errors import CorruptPayloadError
+from repro.compression.huffman import HuffmanCode, HuffmanCodec, assign_canonical_codes
+
+_TABLE_STRUCT = struct.Struct("<IQ")
+
+
+# ----------------------------------------------------------------------
+# Huffman
+# ----------------------------------------------------------------------
+def reference_encode_bits(data: np.ndarray, code: HuffmanCode) -> Tuple[bytes, int]:
+    """Scalar-era encoder: one vectorised pass per bit position of the longest
+    codeword (the pre-vectorization ``HuffmanCodec._encode_bits``)."""
+    if data.size == 0:
+        return b"", 0
+    indices = np.searchsorted(np.sort(code.symbols), data)
+    sort_order = np.argsort(code.symbols)
+    index_of_sorted = sort_order[indices]
+    lengths = code.lengths[index_of_sorted]
+    codewords = code.codes[index_of_sorted]
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    total_bits = int(ends[-1])
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    for j in range(code.max_length):
+        mask = lengths > j
+        if not np.any(mask):
+            continue
+        positions = starts[mask] + j
+        shift = (lengths[mask] - 1 - j).astype(np.uint64)
+        bits[positions] = ((codewords[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def reference_decode_with_table(bits: np.ndarray, count: int, code: HuffmanCode) -> np.ndarray:
+    """Per-symbol Python walk over the lookup table (the pre-vectorization
+    ``HuffmanCodec._decode_with_table``).  The same walk survives in
+    production as ``HuffmanCodec._decode_with_table_scalar``, the low-memory
+    fallback for payloads past ``_VECTOR_PATH_LIMIT_BITS``."""
+    table_symbols, table_lengths = HuffmanCodec._build_decode_table(code)
+    return HuffmanCodec._decode_with_table_scalar(bits, count, code, table_symbols, table_lengths)
+
+
+def reference_deserialize_table(payload: bytes) -> HuffmanCode:
+    """Record-by-record ``struct.unpack_from`` table parse (the
+    pre-vectorization ``HuffmanCode.deserialize_table``)."""
+    if len(payload) < 4:
+        raise CorruptPayloadError("Huffman table payload too short")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    offset = 4
+    expected = offset + count * _TABLE_STRUCT.size
+    if len(payload) < expected:
+        raise CorruptPayloadError("Huffman table payload truncated")
+    symbols = np.zeros(count, dtype=np.int64)
+    lengths = np.zeros(count, dtype=np.int64)
+    for i in range(count):
+        length, symbol_bits = _TABLE_STRUCT.unpack_from(payload, offset)
+        offset += _TABLE_STRUCT.size
+        lengths[i] = length
+        symbols[i] = np.int64(np.uint64(symbol_bits))
+    ordered_symbols, ordered_lengths, codes = assign_canonical_codes(symbols, lengths)
+    return HuffmanCode(symbols=ordered_symbols, lengths=ordered_lengths, codes=codes)
+
+
+class ReferenceHuffmanCodec:
+    """Drop-in :class:`~repro.compression.huffman.HuffmanCodec` twin that uses
+    the scalar reference paths but the identical payload format."""
+
+    def encode(self, data: np.ndarray) -> bytes:
+        data = np.asarray(data, dtype=np.int64).ravel()
+        code = HuffmanCode.from_symbols(data)
+        table = code.serialize_table()
+        payload_bits, bit_count = reference_encode_bits(data, code)
+        header = struct.pack("<QQ", data.size, bit_count)
+        return header + struct.pack("<I", len(table)) + table + payload_bits
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        if len(payload) < 20:
+            raise CorruptPayloadError("Huffman payload too short")
+        count, bit_count = struct.unpack_from("<QQ", payload, 0)
+        (table_len,) = struct.unpack_from("<I", payload, 16)
+        table_start = 20
+        table_end = table_start + table_len
+        if len(payload) < table_end:
+            raise CorruptPayloadError("Huffman payload truncated before table end")
+        code = reference_deserialize_table(payload[table_start:table_end])
+        bits = np.unpackbits(np.frombuffer(payload[table_end:], dtype=np.uint8))
+        if bits.size < bit_count:
+            raise CorruptPayloadError("Huffman payload truncated before bitstream end")
+        bits = bits[:bit_count]
+        if count == 0:
+            return np.array([], dtype=np.int64)
+        if code.max_length == 0:
+            raise CorruptPayloadError("cannot decode with an empty Huffman code book")
+        if code.max_length <= 20:
+            return reference_decode_with_table(bits, int(count), code)
+        return HuffmanCodec._decode_bit_by_bit(bits, int(count), code)
+
+
+# ----------------------------------------------------------------------
+# Bitstream
+# ----------------------------------------------------------------------
+class ReferenceBitWriter:
+    """Pre-vectorization writer: every ``write_bit`` allocated a 1-element
+    array and ``getvalue`` concatenated them all."""
+
+    def __init__(self) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._bit_count = 0
+
+    @property
+    def bit_count(self) -> int:
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        self._chunks.append(np.asarray([bit & 1], dtype=np.uint8))
+        self._bit_count += 1
+
+    def write_bits(self, value: int, width: int) -> None:
+        if width < 0:
+            raise ValueError(f"bit width must be non-negative, got {width}")
+        if width == 0:
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((int(value) >> shifts) & 1).astype(np.uint8)
+        self._chunks.append(bits)
+        self._bit_count += width
+
+    def write_bit_array(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits, dtype=np.uint8).ravel() & 1
+        self._chunks.append(bits)
+        self._bit_count += bits.size
+
+    def getvalue(self) -> bytes:
+        if not self._chunks:
+            return b""
+        return np.packbits(np.concatenate(self._chunks)).tobytes()
+
+
+class ReferenceBitReader:
+    """Pre-vectorization reader whose ``read_bits`` folds one bit per Python
+    loop iteration."""
+
+    def __init__(self, data: bytes, bit_count: int | None = None) -> None:
+        self._bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        if bit_count is not None:
+            if bit_count > self._bits.size:
+                raise CorruptPayloadError(
+                    f"bitstream declares {bit_count} bits but only {self._bits.size} are present"
+                )
+            self._bits = self._bits[:bit_count]
+        self._position = 0
+
+    def read_bits(self, width: int) -> int:
+        if width == 0:
+            return 0
+        if self._position + width > self._bits.size:
+            raise CorruptPayloadError("attempted to read past the end of the bitstream")
+        chunk = self._bits[self._position : self._position + width]
+        self._position += width
+        value = 0
+        for bit in chunk:
+            value = (value << 1) | int(bit)
+        return value
+
+
+def reference_pack_bit_flags(flags: Iterable[bool]) -> bytes:
+    """Generator-expression ``np.fromiter`` flag packer (the pre-vectorization
+    ``pack_bit_flags``)."""
+    array = np.fromiter((1 if flag else 0 for flag in flags), dtype=np.uint8)
+    return np.packbits(array).tobytes()

@@ -133,7 +133,7 @@ class SZ2Compressor(LossyCompressor):
 
         sections = {
             "meta": self._pack_meta(flat.size, absolute_bound, offset, original_shape, original_dtype, raw=False),
-            "modes": pack_bit_flags(use_regression.tolist()),
+            "modes": pack_bit_flags(use_regression),
             "coef": pack_array(coefficients),
             "codes": encode_indices(codes.ravel(), self.entropy_backend, self.compression_level),
         }

@@ -109,7 +109,7 @@ class SZxCompressor(LossyCompressor):
 
         sections = {
             "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=False),
-            "flags": pack_bit_flags(is_constant.tolist()),
+            "flags": pack_bit_flags(is_constant),
             "means": pack_array(means.astype(np.float32)),
             "widths": pack_array(widths),
             "values": values_blob,

@@ -1,0 +1,121 @@
+"""Tests for BENCH report comparison and the CLI compare gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA, BENCH_SCHEMA_VERSION, compare_reports, load_report
+from repro.cli import main
+
+
+def _report(workload="tiny", **metrics):
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+        "created_at": "2026-01-01T00:00:00+00:00",
+        "environment": {},
+        "config": {"warmup": 1, "repeats": 3},
+        "metrics": {name: {"seconds": seconds} for name, seconds in metrics.items()},
+    }
+
+
+def test_compare_ok_within_tolerance():
+    result = compare_reports(_report(m=0.10), _report(m=0.15), tolerance=2.0)
+    assert result.ok
+    assert result.comparisons[0].status == "ok"
+    assert result.comparisons[0].ratio == pytest.approx(1.5)
+
+
+def test_compare_flags_regression_past_tolerance():
+    result = compare_reports(_report(m=0.10), _report(m=0.25), tolerance=2.0)
+    assert not result.ok
+    assert result.failures[0].status == "regression"
+    assert "FAILURE" in result.render()
+
+
+def test_compare_noise_floor_suppresses_micro_jitter():
+    # 5x over baseline but still under the 1 ms floor: not a regression.
+    result = compare_reports(_report(m=1e-5), _report(m=5e-5), tolerance=2.0)
+    assert result.ok
+    # The same ratio above the floor fails.
+    result = compare_reports(_report(m=1e-2), _report(m=5e-2), tolerance=2.0)
+    assert not result.ok
+
+
+def test_compare_normalize_cancels_uniform_machine_slowdown():
+    baseline = _report(a=0.10, b=0.20, c=0.40)
+    # Everything uniformly 2.5x slower (a slower CI runner): normalization
+    # passes where absolute mode would fail every metric.
+    uniform = _report(a=0.25, b=0.50, c=1.00)
+    assert not compare_reports(baseline, uniform, tolerance=2.0).ok
+    normalized = compare_reports(baseline, uniform, tolerance=2.0, normalize=True)
+    assert normalized.ok
+    assert normalized.speed_factor == pytest.approx(2.5)
+    assert "machine-speed factor" in normalized.render()
+    # One metric regressing 6x relative to its peers still fails.
+    skewed = _report(a=0.25, b=0.50, c=2.40)
+    result = compare_reports(baseline, skewed, tolerance=2.0, normalize=True)
+    assert [c.name for c in result.failures] == ["c"]
+
+
+def test_cli_compare_normalize_flag(tmp_path, capsys):
+    import json as json_module
+
+    baseline = tmp_path / "baseline.json"
+    slower = tmp_path / "slower.json"
+    baseline.write_text(json_module.dumps(_report(a=0.10, b=0.20, c=0.40)))
+    slower.write_text(json_module.dumps(_report(a=0.25, b=0.50, c=1.00)))
+    assert main(["bench", "compare", str(baseline), str(slower)]) == 1
+    capsys.readouterr()
+    assert main(["bench", "compare", str(baseline), str(slower), "--normalize"]) == 0
+    capsys.readouterr()
+
+
+def test_compare_missing_metric_fails_new_metric_does_not():
+    baseline = _report(kept=0.1, dropped=0.1)
+    current = _report(kept=0.1, added=0.1)
+    result = compare_reports(baseline, current)
+    statuses = {c.name: c.status for c in result.comparisons}
+    assert statuses == {"kept": "ok", "dropped": "missing", "added": "new"}
+    assert not result.ok
+
+
+def test_compare_rejects_workload_mismatch():
+    with pytest.raises(ValueError):
+        compare_reports(_report(workload="a", m=0.1), _report(workload="b", m=0.1))
+
+
+def test_load_report_validates_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(ValueError):
+        load_report(path)
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    good = tmp_path / "good.json"
+    bad = tmp_path / "bad.json"
+    baseline.write_text(json.dumps(_report(m=0.10)))
+    good.write_text(json.dumps(_report(m=0.12)))
+    bad.write_text(json.dumps(_report(m=0.50)))
+
+    assert main(["bench", "compare", str(baseline), str(good)]) == 0
+    assert "OK" in capsys.readouterr().out
+    assert main(["bench", "compare", str(baseline), str(bad)]) == 1
+    assert "regression" in capsys.readouterr().out
+    # Generous tolerance lets the same pair pass.
+    assert main(["bench", "compare", str(baseline), str(bad), "--tolerance", "10"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_compare_usage_errors(tmp_path, capsys):
+    assert main(["bench", "compare", "only-one.json"]) == 2
+    assert "exactly two paths" in capsys.readouterr().err
+    missing = tmp_path / "missing.json"
+    present = tmp_path / "present.json"
+    present.write_text(json.dumps(_report(m=0.1)))
+    assert main(["bench", "compare", str(missing), str(present)]) == 2

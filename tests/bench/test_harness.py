@@ -1,0 +1,104 @@
+"""Tests for the benchmark timing harness and reporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    BenchHarness,
+    build_report,
+    render_report,
+    validate_report,
+    write_report,
+)
+
+
+def test_measure_runs_warmup_plus_repeats():
+    calls = []
+    harness = BenchHarness(warmup=2, repeats=3)
+    harness.measure("metric", lambda timer: calls.append(1))
+    assert len(calls) == 5
+
+
+def test_measure_reports_min_and_mean(monkeypatch):
+    ticks = iter([0.0, 1.0, 0.0, 0.5, 0.0, 2.0])  # three repeats: 1.0s, 0.5s, 2.0s
+
+    harness = BenchHarness(warmup=0, repeats=3)
+    import repro.bench.harness as harness_module
+
+    monkeypatch.setattr(harness_module.time, "perf_counter", lambda: next(ticks))
+    record = harness.measure("metric", lambda timer: None)
+    assert record.seconds == pytest.approx(0.5)
+    assert record.mean_seconds == pytest.approx((1.0 + 0.5 + 2.0) / 3)
+    assert record.repeats == 3
+
+
+def test_measure_records_phases_and_throughput():
+    def workload(timer):
+        with timer.measure("phase_a"):
+            pass
+        with timer.measure("phase_b"):
+            pass
+
+    harness = BenchHarness(warmup=0, repeats=2)
+    record = harness.measure("metric", workload, items=1000, nbytes=2_000_000)
+    assert set(record.phases) == {"phase_a", "phase_b"}
+    assert record.items_per_second is not None and record.items_per_second > 0
+    assert record.mb_per_second is not None and record.mb_per_second > 0
+
+
+def test_duplicate_metric_name_rejected():
+    harness = BenchHarness(warmup=0, repeats=1)
+    harness.measure("metric", lambda timer: None)
+    with pytest.raises(ValueError):
+        harness.measure("metric", lambda timer: None)
+
+
+def test_invalid_harness_configuration_rejected():
+    with pytest.raises(ValueError):
+        BenchHarness(warmup=-1)
+    with pytest.raises(ValueError):
+        BenchHarness(repeats=0)
+
+
+def test_report_schema_and_roundtrip(tmp_path):
+    harness = BenchHarness(warmup=0, repeats=1)
+    harness.measure("metric", lambda timer: None, items=10)
+    report = build_report("unit", harness.records, warmup=0, repeats=1)
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["schema_version"] == BENCH_SCHEMA_VERSION
+    assert report["workload"] == "unit"
+    assert "metric" in report["metrics"]
+    validate_report(report)
+
+    destination = write_report(report, tmp_path / "BENCH_unit.json")
+    loaded = json.loads(destination.read_text())
+    validate_report(loaded)
+    assert loaded["metrics"]["metric"]["items"] == 10
+
+    rendered = render_report(loaded)
+    assert "BENCH unit" in rendered
+    assert "metric" in rendered
+
+
+def test_validate_report_rejects_bad_documents():
+    with pytest.raises(ValueError):
+        validate_report([])
+    with pytest.raises(ValueError):
+        validate_report({"schema": "other", "schema_version": 1, "metrics": {}})
+    with pytest.raises(ValueError):
+        validate_report({"schema": BENCH_SCHEMA, "schema_version": 99, "metrics": {}})
+    with pytest.raises(ValueError):
+        validate_report({"schema": BENCH_SCHEMA, "schema_version": BENCH_SCHEMA_VERSION})
+    with pytest.raises(ValueError):
+        validate_report(
+            {
+                "schema": BENCH_SCHEMA,
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "metrics": {"m": {}},
+            }
+        )

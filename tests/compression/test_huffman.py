@@ -90,6 +90,17 @@ def test_codec_rejects_truncated_payload():
         HuffmanCodec().decode(payload[: len(payload) - 2])
 
 
+def test_expected_bits_counts_payload_and_rejects_unknown_symbols():
+    data = np.array([1, 1, 1, 2, 2, 3], dtype=np.int64)
+    code = HuffmanCode.from_symbols(data)
+    length_of = {int(s): int(l) for s, l in zip(code.symbols, code.lengths)}
+    assert code.expected_bits(data) == sum(length_of[int(s)] for s in data)
+    with pytest.raises(KeyError):
+        code.expected_bits(np.array([99], dtype=np.int64))
+    with pytest.raises(KeyError):
+        code.expected_bits(np.array([-99], dtype=np.int64))
+
+
 def test_table_serialization_roundtrip():
     data = np.array([5, 5, 5, -3, -3, 9])
     code = HuffmanCode.from_symbols(data)
