@@ -12,6 +12,9 @@ layers of the repo:
   pipeline for each of SZ2/SZ3/SZx/ZFP;
 * a full federated round (``fl_round``) on the scheduler/executor/transport
   stack from :mod:`repro.fl`;
+* a fleet-scale round (``fl_fleet``) — 256 lazy clients, 5% sampled per
+  round, heterogeneous edge links, bounded model pool — proving the
+  O(max_workers) memory path stays fast;
 * a fast composite (``tiny``) sized for CI smoke runs.
 
 Register new workloads with :func:`register_workload`; the CLI exposes them
@@ -202,6 +205,7 @@ def _measure_bitstream(harness: BenchHarness, num_bits: int, num_flags: int, wit
 
 
 def _measure_codec(harness: BenchHarness, name: str, state: Dict[str, np.ndarray], error_bound: float) -> None:
+    from repro.compression.metrics import compression_ratio
     from repro.core import FedSZCompressor
 
     codec = FedSZCompressor(error_bound=error_bound, lossy_compressor=name)
@@ -218,7 +222,10 @@ def _measure_codec(harness: BenchHarness, name: str, state: Dict[str, np.ndarray
         f"codec_{name}_roundtrip",
         run,
         nbytes=nbytes,
-        extra={"compressed_bytes": len(payload), "ratio": nbytes / max(len(payload), 1)},
+        extra={
+            "compressed_bytes": len(payload),
+            "ratio": compression_ratio(nbytes, len(payload)),
+        },
     )
 
 
@@ -253,6 +260,105 @@ def _run_fl_round(harness: BenchHarness, metric: str, samples: int, clients: int
     harness.measure(metric, run, items=clients, extra={"samples": samples, "clients": clients})
 
 
+def _run_fleet_round(
+    harness: BenchHarness,
+    metric: str,
+    clients: int,
+    client_fraction: float,
+    samples: int,
+    workers: int = 4,
+) -> None:
+    """Time one round of a sub-sampled edge fleet on the lazy-client runtime.
+
+    Exercises the fleet-scale path end to end: lazy client materialisation,
+    the bounded model pool, heterogeneous links and participant sampling.
+    Setup (partitioning ``clients`` datasets, binding links) is timed
+    separately from the round so regressions in either show up on their own.
+    """
+    from repro.core import FedSZCompressor
+    from repro.experiments.workloads import build_federated_setup
+    from repro.fl import ParallelExecutor, build_fleet_runtime, get_scenario
+
+    setup = build_federated_setup(
+        model_name="mobilenetv2",
+        num_clients=clients,
+        rounds=1,
+        samples=samples,
+        local_epochs=1,
+        seed=7,
+    )
+    scenario = get_scenario(
+        "uniform-edge", num_clients=clients, client_fraction=client_fraction
+    )
+
+    def build():
+        return build_fleet_runtime(
+            scenario,
+            setup.model_fn,
+            setup.train_dataset,
+            setup.validation_dataset,
+            codec=FedSZCompressor(error_bound=1e-2),
+            executor=ParallelExecutor(max_workers=workers),
+            seed=7,
+            batch_size=16,
+        )
+
+    harness.measure(
+        f"{metric}_setup",
+        lambda timer: build(),
+        items=clients,
+        extra={"clients": clients},
+    )
+
+    runtime = build()
+
+    # Each warmup/timed call executes one additional federated round so setup
+    # cost stays out of the measurement and every repeat does the same work.
+    def run(timer):
+        with timer.measure("round"):
+            return runtime.run_round()
+
+    record = harness.measure(
+        metric,
+        run,
+        items=clients,
+        extra={"clients": clients, "client_fraction": client_fraction},
+    )
+    # Counters are only meaningful after the rounds above actually ran: they
+    # are the memory proof (resident models bounded by the worker budget, not
+    # the fleet) this workload exists to keep visible in the JSON.
+    record.extra.update(
+        resident_models=runtime.model_pool.created,
+        materialized_clients=runtime.clients.materialized_count,
+    )
+
+    serial_runtime = build_fleet_runtime(
+        scenario,
+        setup.model_fn,
+        setup.train_dataset,
+        setup.validation_dataset,
+        codec=FedSZCompressor(error_bound=1e-2),
+        seed=7,
+        batch_size=16,
+    )
+
+    def run_serial(timer):
+        with timer.measure("round"):
+            return serial_runtime.run_round()
+
+    # Third metric: the single-resident-model serial path.  It also keeps the
+    # CI gate's --normalize meaningful — with only two metrics the median
+    # equals their mean, and a single-metric regression can never exceed the
+    # tolerance after normalization.
+    serial_record = harness.measure(
+        f"{metric}_round_serial",
+        run_serial,
+        items=clients,
+        extra={"clients": clients, "client_fraction": client_fraction},
+    )
+    serial_record.extra["resident_models"] = serial_runtime.model_pool.created
+
+
 # ----------------------------------------------------------------------
 # Workloads
 # ----------------------------------------------------------------------
@@ -276,6 +382,16 @@ def _workload_codecs(harness: BenchHarness) -> None:
 @register_workload("fl_round", "One federated round on the scheduler/executor/transport stack")
 def _workload_fl_round(harness: BenchHarness) -> None:
     _run_fl_round(harness, "fl_round", samples=240, clients=4)
+
+
+@register_workload(
+    "fl_fleet",
+    "One round of a 256-client, 5%-sampled edge fleet on the lazy-client runtime",
+)
+def _workload_fl_fleet(harness: BenchHarness) -> None:
+    _run_fleet_round(
+        harness, "fl_fleet", clients=256, client_fraction=0.05, samples=640
+    )
 
 
 @register_workload("tiny", "Fast composite for CI smoke runs (codec + entropy + FL round)")

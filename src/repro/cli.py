@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run all --quick --output results/
     python -m repro.cli fl --scheduler semi-sync --deadline 2.0 \
         --executor parallel --workers 4 --heterogeneous --straggler 2
+    python -m repro.cli fl --scenario uniform-edge --clients 256 \
+        --client-fraction 0.05 --executor parallel --workers 4
     python -m repro.cli bench list
     python -m repro.cli bench --workload tiny --out BENCH_tiny.json
     python -m repro.cli bench compare benchmarks/baselines/tiny.json BENCH_tiny.json
@@ -85,9 +87,9 @@ def _write_or_print(result: ExperimentResult, output: Optional[Path], name: str)
 def run_fl(
     model: str = "resnet50",
     dataset: str = "cifar10",
-    rounds: int = 3,
-    clients: int = 4,
-    samples: int = 400,
+    rounds: Optional[int] = None,
+    clients: Optional[int] = None,
+    samples: Optional[int] = None,
     error_bound: Optional[float] = 1e-2,
     scheduler: str = "sync",
     deadline_seconds: float = 5.0,
@@ -98,10 +100,19 @@ def run_fl(
     stragglers: tuple = (),
     straggler_factor: float = 10.0,
     dropout: float = 0.0,
+    scenario: Optional[str] = None,
+    client_fraction: Optional[float] = None,
     seed: int = 0,
 ):
     """Run one federated simulation through the layered runtime.
 
+    ``scenario`` selects a fleet preset from :mod:`repro.fl.scenarios`
+    (``uniform-edge`` / ``diurnal`` / ``flash-crowd``), which supplies the
+    transport, round scheduler, participation schedule *and* the default
+    fleet shape (the preset's ``num_clients`` / ``rounds`` /
+    ``client_fraction`` unless overridden on the command line) — the
+    ``--scheduler`` / ``--heterogeneous`` / straggler flags are then ignored.
+    Without a scenario, ``rounds`` and ``clients`` default to 3 and 4.
     Returns the :class:`~repro.fl.TrainingHistory`; the CLI prints its rows.
     """
     from repro.core import FedSZCompressor
@@ -111,10 +122,34 @@ def run_fl(
         ParallelExecutor,
         SerialExecutor,
         Transport,
+        build_fleet_runtime,
         edge_fleet_specs,
+        get_scenario,
         get_scheduler,
     )
 
+    preset = None
+    if scenario is not None:
+        overrides = {
+            key: value
+            for key, value in (
+                ("num_clients", clients),
+                ("rounds", rounds),
+                ("client_fraction", client_fraction),
+            )
+            if value is not None
+        }
+        preset = get_scenario(scenario, **overrides)
+        clients = preset.num_clients
+        rounds = preset.rounds
+    else:
+        clients = 4 if clients is None else clients
+        rounds = 3 if rounds is None else rounds
+
+    if samples is None:
+        # The 80/20 split must leave every client at least one training
+        # sample, so the default dataset grows with the fleet.
+        samples = max(400, -(-3 * clients // 2))
     setup = build_federated_setup(
         model_name=model,
         dataset_name=dataset,
@@ -126,6 +161,28 @@ def run_fl(
     from repro.fl.scheduler import canonical_scheduler_name
 
     codec = None if error_bound is None else FedSZCompressor(error_bound=error_bound)
+
+    if preset is not None:
+        runtime = build_fleet_runtime(
+            preset,
+            setup.model_fn,
+            setup.train_dataset,
+            setup.validation_dataset,
+            codec=codec,
+            executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
+            # Train with the same hyper-parameters as the non-scenario path;
+            # the preset only decides fleet shape, links and availability.
+            seed=setup.config.seed,
+            batch_size=setup.config.batch_size,
+            learning_rate=setup.config.learning_rate,
+            local_epochs=setup.config.local_epochs,
+            momentum=setup.config.momentum,
+            weight_decay=setup.config.weight_decay,
+            bandwidth_mbps=setup.config.bandwidth_mbps,
+            eval_batch_size=setup.config.eval_batch_size,
+        )
+        return runtime.run()
+
     scheduler_kwargs = {}
     canonical = canonical_scheduler_name(scheduler)
     if canonical == "semi-sync":
@@ -142,11 +199,16 @@ def run_fl(
                 dropout_probability=dropout,
             )
         )
+    config = setup.config
+    if client_fraction is not None:
+        from dataclasses import replace
+
+        config = replace(config, client_fraction=client_fraction)
     simulation = FLSimulation(
         setup.model_fn,
         setup.train_dataset,
         setup.validation_dataset,
-        setup.config,
+        config,
         codec=codec,
         scheduler=get_scheduler(scheduler, **scheduler_kwargs),
         executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
@@ -172,6 +234,8 @@ def _run_fl_from_args(arguments) -> "object":
         stragglers=tuple(arguments.straggler),
         straggler_factor=arguments.straggler_factor,
         dropout=arguments.dropout,
+        scenario=arguments.scenario,
+        client_fraction=arguments.client_fraction,
         seed=arguments.seed,
     )
 
@@ -216,9 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     fl_parser.add_argument("--model", default="resnet50",
                            choices=["resnet50", "mobilenetv2", "alexnet"])
     fl_parser.add_argument("--dataset", default="cifar10")
-    fl_parser.add_argument("--rounds", type=int, default=3)
-    fl_parser.add_argument("--clients", type=int, default=4)
-    fl_parser.add_argument("--samples", type=int, default=400)
+    fl_parser.add_argument("--rounds", type=int, default=None,
+                           help="communication rounds (default 3, or the "
+                                "scenario preset's round count)")
+    fl_parser.add_argument("--clients", type=int, default=None,
+                           help="fleet size (default 4, or the scenario "
+                                "preset's fleet size, e.g. 256)")
+    fl_parser.add_argument("--samples", type=int, default=None,
+                           help="synthetic dataset size (default 400, scaled "
+                                "up for large fleets so the 80/20 split "
+                                "leaves every client a training sample)")
     fl_parser.add_argument("--error-bound", type=float, default=1e-2,
                            help="FedSZ REL bound for the uplink codec")
     fl_parser.add_argument("--uncompressed", action="store_true",
@@ -238,6 +309,17 @@ def build_parser() -> argparse.ArgumentParser:
     fl_parser.add_argument("--straggler-factor", type=float, default=10.0)
     fl_parser.add_argument("--dropout", type=float, default=0.0,
                            help="per-round update dropout probability")
+    from repro.fl.scenarios import available_scenarios
+
+    fl_parser.add_argument("--scenario", default=None,
+                           choices=[preset.name for preset in available_scenarios()],
+                           help="fleet preset (supplies transport, scheduler, "
+                                "availability schedule and default fleet shape; "
+                                "overrides --scheduler / --heterogeneous / "
+                                "straggler flags)")
+    fl_parser.add_argument("--client-fraction", type=float, default=None,
+                           help="fraction of clients sampled per round "
+                                "(participants = ceil(fraction x clients))")
     fl_parser.add_argument("--seed", type=int, default=0)
     fl_parser.add_argument("--per-client", action="store_true",
                            help="also print per-client round stats")

@@ -10,8 +10,10 @@ The policy is deliberately simple and auditable:
 * if the accuracy of the current round drops more than ``tolerance`` below
   the best accuracy seen so far, the bound is tightened (divided by
   ``backoff_factor``) — compression was probably hurting;
-* if accuracy keeps up for ``patience`` consecutive rounds, the bound is
-  relaxed (multiplied by ``growth_factor``) to claw back compression ratio;
+* once ``patience`` rounds of kept-up accuracy have accumulated since the
+  bound last moved, it is relaxed (multiplied by ``growth_factor``) to claw
+  back compression ratio — drops that leave the bound clamped at
+  ``min_bound`` neither add to nor reset that count;
 * the bound always stays inside ``[min_bound, max_bound]``.
 
 Used together with :class:`repro.core.FedSZCompressor` via
@@ -83,7 +85,11 @@ class AdaptiveErrorBoundController:
         if accuracy < self.best_accuracy - self.tolerance:
             self.current_bound = max(self.min_bound, self.current_bound / self.backoff_factor)
             action = "tighten" if self.current_bound < previous_bound else "hold"
-            self._rounds_since_change = 0
+            # Only restart the relax patience when the bound actually moved: a
+            # tighten clamped at min_bound is a hold, and resetting on it kept
+            # stalling later relaxation at the clamp.
+            if action == "tighten":
+                self._rounds_since_change = 0
         else:
             self._rounds_since_change += 1
             if self._rounds_since_change >= self.patience:
@@ -91,7 +97,7 @@ class AdaptiveErrorBoundController:
                 if relaxed > self.current_bound:
                     self.current_bound = relaxed
                     action = "relax"
-                self._rounds_since_change = 0
+                    self._rounds_since_change = 0
 
         self.best_accuracy = max(self.best_accuracy, accuracy)
         adjustment = BoundAdjustment(

@@ -31,7 +31,18 @@ from repro.fl.executor import (
     SerialExecutor,
 )
 from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
-from repro.fl.runtime import FederatedRuntime, RoundContext
+from repro.fl.runtime import DownlinkStats, FederatedRuntime, RoundContext
+from repro.fl.scenarios import (
+    DiurnalSchedule,
+    FlashCrowdSchedule,
+    FleetScenario,
+    FullParticipation,
+    ParticipationSchedule,
+    available_scenarios,
+    build_fleet_runtime,
+    build_schedule,
+    get_scenario,
+)
 from repro.fl.scheduler import (
     AsynchronousScheduler,
     RoundScheduler,
@@ -41,6 +52,7 @@ from repro.fl.scheduler import (
 )
 from repro.fl.server import EvaluationResult, FLServer
 from repro.fl.simulation import FLSimulation, UpdateCodec, run_federated_training
+from repro.fl.state import ClientRegistry, ModelPool
 from repro.fl.transport import (
     ClientLink,
     LinkSpec,
@@ -65,6 +77,18 @@ __all__ = [
     "TrainingHistory",
     "FederatedRuntime",
     "RoundContext",
+    "DownlinkStats",
+    "ClientRegistry",
+    "ModelPool",
+    "ParticipationSchedule",
+    "FullParticipation",
+    "DiurnalSchedule",
+    "FlashCrowdSchedule",
+    "FleetScenario",
+    "build_schedule",
+    "available_scenarios",
+    "get_scenario",
+    "build_fleet_runtime",
     "AsynchronousScheduler",
     "RoundScheduler",
     "SemiSynchronousScheduler",

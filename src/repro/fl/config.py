@@ -2,7 +2,25 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Optional
+
+
+def participant_count(client_fraction: float, num_clients: int) -> int:
+    """Number of clients sampled per round for a given fraction.
+
+    The convention is an explicit **ceiling**: ``ceil(client_fraction ×
+    num_clients)``, never fewer than one client.  A small epsilon guards
+    against binary-float artefacts (``0.2 * 10 == 2.000…0004`` must count as
+    2, not 3).  The previous implementation used ``int(round(...))``, whose
+    banker's rounding made counts surprising at common fractions
+    (``round(0.5 * 5) == 2``).
+    """
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive, got {num_clients}")
+    count = math.ceil(client_fraction * num_clients - 1e-9)
+    return max(1, min(count, num_clients))
 
 
 @dataclass(frozen=True)
@@ -25,10 +43,20 @@ class FLConfig:
     bandwidth_mbps: float = 10.0
     compress_downlink: bool = False
     #: Fraction of clients sampled to participate in each round (FedAvg's C).
+    #: The per-round participant count is ``ceil(client_fraction ×
+    #: num_clients)`` clamped to ``[1, num_clients]`` — see
+    #: :func:`participant_count`.  At 1.0 every (available) client
+    #: participates.
     client_fraction: float = 1.0
     #: Multiplicative learning-rate decay applied after every round.
     learning_rate_decay: float = 1.0
     eval_batch_size: int = 128
+    #: Upper bound on simultaneously resident client-model instances (the
+    #: runtime's :class:`~repro.fl.state.ModelPool` size).  ``None`` derives
+    #: the bound from the executor's worker count: 1 for the serial executor,
+    #: ``max_workers`` for the parallel one, unbounded (grow with concurrency)
+    #: when the executor does not declare a worker count.
+    max_resident_models: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -55,4 +83,8 @@ class FLConfig:
         if not 0.0 < self.learning_rate_decay <= 1.0:
             raise ValueError(
                 f"learning_rate_decay must lie in (0, 1], got {self.learning_rate_decay}"
+            )
+        if self.max_resident_models is not None and self.max_resident_models <= 0:
+            raise ValueError(
+                f"max_resident_models must be positive, got {self.max_resident_models}"
             )

@@ -39,12 +39,16 @@ from repro.fl.transport import ClientLink, TransferStats, transmit_update
 
 @dataclass
 class ClientTask:
-    """One unit of round work: train a client, ship its update."""
+    """One unit of round work: receive the broadcast, train, ship the update."""
 
     client: FLClient
     link: ClientLink
     broadcast_state: Mapping[str, np.ndarray]
     learning_rate: float
+    #: Modelled seconds for this client to *receive* the broadcast over its
+    #: own downlink; folded into the turnaround so schedulers see the full
+    #: receive → train → transmit window.
+    downlink_seconds: float = 0.0
 
 
 @dataclass
@@ -68,7 +72,8 @@ def run_client_task(task: ClientTask, codec, lock=None) -> ClientResult:
     update = task.client.train(task.broadcast_state, learning_rate=task.learning_rate)
     state, stats = transmit_update(update.state_dict, codec, task.link, lock=lock)
     turnaround = (
-        update.train_seconds
+        task.downlink_seconds
+        + update.train_seconds
         + stats.compress_seconds
         + stats.transfer_seconds
         + stats.decompress_seconds
@@ -86,6 +91,8 @@ class SerialExecutor:
     """Run clients one after another — the seed simulation's behaviour."""
 
     name = "serial"
+    #: Concurrency level — the runtime sizes its model pool from this.
+    max_workers = 1
 
     def run_clients(self, tasks: List[ClientTask], codec=None) -> List[ClientResult]:
         """Execute every task in order with the shared codec instance."""

@@ -29,6 +29,10 @@ class ClientRoundStat:
     transfer_seconds: float = 0.0
     payload_nbytes: int = 0
     compression_ratio: float = 1.0
+    #: Modelled seconds until this client received the round's broadcast —
+    #: its own link time on independent links, its cumulative queue position
+    #: on a shared channel (included in ``turnaround_seconds``).
+    downlink_seconds: float = 0.0
     turnaround_seconds: float = 0.0
     delivered: bool = True
     aggregated: bool = True
@@ -43,6 +47,7 @@ class ClientRoundStat:
             "train_seconds": self.train_seconds,
             "compress_seconds": self.compress_seconds,
             "transfer_seconds": self.transfer_seconds,
+            "downlink_seconds": self.downlink_seconds,
             "payload_mb": self.payload_nbytes / 1e6,
             "ratio": self.compression_ratio,
             "turnaround_seconds": self.turnaround_seconds,
@@ -68,7 +73,16 @@ class RoundRecord:
     validation_seconds: float
     mean_compression_ratio: float
     downlink_bytes: int = 0
+    #: Simulated wall-clock of the broadcast phase: the max over the
+    #: participants' receive times.  Heterogeneous links are independent and
+    #: transmit in parallel, so this is the slowest link's time; a shared
+    #: homogeneous channel serialises the copies, so it is the full queue —
+    #: per-client time × participant count (the seed arithmetic).
     downlink_seconds: float = 0.0
+    #: Sum of per-client downlink times — the aggregate-bytes view of the
+    #: broadcast (what the server's egress actually shipped), as opposed to
+    #: the parallel wall-clock above.
+    downlink_aggregate_seconds: float = 0.0
     participating_clients: int = 0
     #: Per-client detail for this round (empty for legacy construction).
     client_stats: List[ClientRoundStat] = field(default_factory=list)

@@ -13,9 +13,17 @@ pluggable layers:
   link looks like — one shared channel (the seed behaviour) or heterogeneous
   per-client bandwidth/latency/straggler/dropout profiles.
 
-The default composition (sync + serial + homogeneous) reproduces the seed
-``FLSimulation`` numbers exactly; :class:`repro.fl.FLSimulation` is now a thin
-facade over this class.
+The client population is **lazy** (:mod:`repro.fl.state`): client objects are
+materialised on first access and models are borrowed from a bounded
+:class:`~repro.fl.state.ModelPool`, so a 256–1024-client fleet costs
+O(max_workers) resident models instead of O(num_clients).  An optional
+**participation schedule** (:mod:`repro.fl.scenarios`) masks which clients
+are available each round before sampling — diurnal availability, flash
+crowds, and other fleet dynamics compose with every scheduler.
+
+The default composition (sync + serial + homogeneous + always-available)
+reproduces the seed ``FLSimulation`` numbers exactly;
+:class:`repro.fl.FLSimulation` is now a thin facade over this class.
 """
 
 from __future__ import annotations
@@ -28,14 +36,35 @@ import numpy as np
 from repro.data.datasets import SyntheticImageDataset
 from repro.data.partition import partition_dataset
 from repro.fl.client import FLClient
-from repro.fl.config import FLConfig
+from repro.fl.config import FLConfig, participant_count
 from repro.fl.executor import ClientResult, ClientTask, SerialExecutor
 from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
 from repro.fl.scheduler import RoundScheduler, SynchronousScheduler
 from repro.fl.server import FLServer
+from repro.fl.state import ClientRegistry, ModelPool
 from repro.fl.transport import Transport
 from repro.nn.module import Module
 from repro.utils.seeding import SeedSequenceFactory
+
+
+@dataclass
+class DownlinkStats:
+    """Accounting for one round's broadcast phase.
+
+    ``per_client_seconds[i]`` is the simulated time until client ``i`` holds
+    the broadcast: its own link time when links are independent (they
+    transmit in parallel), or its cumulative queue position on a shared
+    homogeneous channel (the copies ship back to back, so later clients wait
+    for earlier ones).  ``wallclock_seconds`` is the max over those waits —
+    when the last participant can start training.  ``aggregate_seconds`` is
+    the sum of per-link transmission times — the server-egress view.
+    """
+
+    payload_nbytes: int = 0
+    total_bytes: int = 0
+    per_client_seconds: Dict[int, float] = field(default_factory=dict)
+    wallclock_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
 
 
 @dataclass
@@ -46,9 +75,18 @@ class RoundContext:
     participants: List[FLClient]
     broadcast_state: Dict[str, np.ndarray]
     learning_rate: float
-    downlink_bytes: int
-    downlink_seconds: float
+    downlink: DownlinkStats
     tasks: List[ClientTask] = field(default_factory=list)
+
+    @property
+    def downlink_bytes(self) -> int:
+        """Total broadcast bytes across participants."""
+        return self.downlink.total_bytes
+
+    @property
+    def downlink_seconds(self) -> float:
+        """Simulated broadcast wall-clock (see :class:`DownlinkStats`)."""
+        return self.downlink.wallclock_seconds
 
 
 class FederatedRuntime:
@@ -64,11 +102,14 @@ class FederatedRuntime:
         scheduler: Optional[RoundScheduler] = None,
         executor=None,
         transport: Optional[Transport] = None,
+        schedule=None,
     ) -> None:
         self.config = config or FLConfig()
         self.codec = codec
         self.scheduler = scheduler or SynchronousScheduler()
         self.executor = executor or SerialExecutor()
+        #: Optional per-round availability mask (see :mod:`repro.fl.scenarios`).
+        self.schedule = schedule
 
         # Seed-derivation order matches the seed FLSimulation exactly
         # (partition, clients, sampling) so default runs are bit-compatible;
@@ -84,10 +125,13 @@ class FederatedRuntime:
         self.server = FLServer(
             model_fn, validation_dataset, eval_batch_size=self.config.eval_batch_size
         )
-        self.clients: List[FLClient] = [
-            FLClient(client_id, model_fn, dataset, self.config, seed=seeds.next_seed())
-            for client_id, dataset in enumerate(client_datasets)
-        ]
+        client_seeds = [seeds.next_seed() for _ in client_datasets]
+        self.model_pool = ModelPool(
+            model_fn, max_models=self._resolve_pool_size(self.executor)
+        )
+        self.clients = ClientRegistry(
+            model_fn, client_datasets, self.config, client_seeds, self.model_pool
+        )
         self.history = TrainingHistory()
         self._sampling_rng = np.random.default_rng(seeds.next_seed())
 
@@ -95,6 +139,12 @@ class FederatedRuntime:
             bandwidth_mbps=self.config.bandwidth_mbps
         )
         self.transport.bind(len(self.clients), seed=seeds.next_seed())
+
+    def _resolve_pool_size(self, executor) -> Optional[int]:
+        """Model-pool bound: explicit config, else the executor's concurrency."""
+        if self.config.max_resident_models is not None:
+            return self.config.max_resident_models
+        return getattr(executor, "max_workers", None)
 
     # ------------------------------------------------------------------
     # Round loop
@@ -115,18 +165,17 @@ class FederatedRuntime:
     def start_round(self) -> RoundContext:
         """Sample participants, broadcast the global state, build client tasks."""
         round_index = len(self.history)
-        participants = self._sample_clients()
+        participants = self._sample_clients(round_index)
         learning_rate = (
             self.config.learning_rate * self.config.learning_rate_decay**round_index
         )
-        broadcast_state, downlink_bytes, downlink_seconds = self._broadcast(participants)
+        broadcast_state, downlink = self._broadcast(participants)
         context = RoundContext(
             round_index=round_index,
             participants=participants,
             broadcast_state=broadcast_state,
             learning_rate=learning_rate,
-            downlink_bytes=downlink_bytes,
-            downlink_seconds=downlink_seconds,
+            downlink=downlink,
         )
         context.tasks = [
             ClientTask(
@@ -134,6 +183,7 @@ class FederatedRuntime:
                 link=self.transport.uplink(client.client_id),
                 broadcast_state=broadcast_state,
                 learning_rate=learning_rate,
+                downlink_seconds=downlink.per_client_seconds.get(client.client_id, 0.0),
             )
             for client in participants
         ]
@@ -169,6 +219,9 @@ class FederatedRuntime:
                 transfer_seconds=result.stats.transfer_seconds,
                 payload_nbytes=result.stats.payload_nbytes,
                 compression_ratio=result.stats.ratio,
+                downlink_seconds=context.downlink.per_client_seconds.get(
+                    result.client_id, 0.0
+                ),
                 turnaround_seconds=result.turnaround_seconds,
                 delivered=result.delivered,
                 aggregated=result.client_id in aggregated_ids,
@@ -183,8 +236,14 @@ class FederatedRuntime:
             round_index=context.round_index,
             global_accuracy=evaluation.accuracy,
             global_loss=evaluation.loss,
-            mean_client_loss=float(np.mean([r.update.train_loss for r in results])),
-            mean_client_accuracy=float(np.mean([r.update.train_accuracy for r in results])),
+            mean_client_loss=(
+                float(np.mean([r.update.train_loss for r in results])) if results else 0.0
+            ),
+            mean_client_accuracy=(
+                float(np.mean([r.update.train_accuracy for r in results]))
+                if results
+                else 0.0
+            ),
             uplink_bytes=sum(result.stats.payload_nbytes for result in results),
             uplink_seconds=float(sum(result.stats.transfer_seconds for result in results)),
             compression_seconds=float(sum(r.stats.compress_seconds for r in results)),
@@ -192,8 +251,9 @@ class FederatedRuntime:
             train_seconds=float(sum(r.update.train_seconds for r in results)),
             validation_seconds=evaluation.seconds,
             mean_compression_ratio=float(np.mean(ratios)) if ratios else 1.0,
-            downlink_bytes=context.downlink_bytes,
-            downlink_seconds=context.downlink_seconds,
+            downlink_bytes=context.downlink.total_bytes,
+            downlink_seconds=context.downlink.wallclock_seconds,
+            downlink_aggregate_seconds=context.downlink.aggregate_seconds,
             participating_clients=len(context.participants),
             client_stats=client_stats,
             dropped_clients=sum(1 for result in results if not result.delivered),
@@ -210,20 +270,55 @@ class FederatedRuntime:
     # ------------------------------------------------------------------
     # Sampling and broadcast
     # ------------------------------------------------------------------
-    def _sample_clients(self) -> List[FLClient]:
-        """Sample the subset of clients participating in this round."""
+    def _sample_clients(self, round_index: int = 0) -> List[FLClient]:
+        """Sample this round's participants.
+
+        When a participation schedule is configured, its availability mask
+        restricts the eligible pool first; sampling then draws
+        ``participant_count(client_fraction, len(eligible))`` clients (an
+        explicit ceiling — see :func:`repro.fl.config.participant_count`)
+        from the eligible set, so participation tracks fleet availability.
+        Without a schedule the seed sampling path is used unchanged (the
+        count is taken over the whole fleet), keeping default runs
+        bit-identical.
+        """
+        num_clients = len(self.clients)
+        eligible: Optional[np.ndarray] = None
+        if self.schedule is not None:
+            mask = np.asarray(self.schedule.mask(round_index, num_clients), dtype=bool)
+            if mask.shape != (num_clients,):
+                raise ValueError(
+                    f"availability mask has shape {mask.shape}, expected ({num_clients},)"
+                )
+            eligible = np.nonzero(mask)[0]
+            if eligible.size == 0:
+                return []
+
         if self.config.client_fraction >= 1.0:
-            return list(self.clients)
-        count = max(1, int(round(self.config.client_fraction * len(self.clients))))
-        indices = self._sampling_rng.choice(len(self.clients), size=count, replace=False)
+            if eligible is None:
+                return list(self.clients)
+            return [self.clients[index] for index in eligible]
+
+        if eligible is None:
+            count = participant_count(self.config.client_fraction, num_clients)
+            indices = self._sampling_rng.choice(num_clients, size=count, replace=False)
+        else:
+            count = participant_count(self.config.client_fraction, int(eligible.size))
+            indices = self._sampling_rng.choice(eligible, size=count, replace=False)
         return [self.clients[index] for index in sorted(indices)]
 
     def _broadcast(self, participants: List[FLClient]) -> tuple:
-        """Prepare the broadcast state and its total downlink cost.
+        """Prepare the broadcast state and its downlink accounting.
 
         The paper compresses the uplink only; ``compress_downlink`` extends
         the codec to the broadcast path, in which case clients train on the
         state they actually receive (including the compression error).
+
+        Returns ``(state, DownlinkStats)``.  Independent heterogeneous links
+        broadcast in parallel, so the wall-clock is the slowest link's time;
+        a shared homogeneous channel serialises the copies (the seed
+        arithmetic), so each client's receive time is its cumulative queue
+        position and the wall-clock is the full queue.
         """
         global_state = self.server.global_state()
         raw_nbytes = int(sum(np.asarray(v).nbytes for v in global_state.values()))
@@ -235,18 +330,32 @@ class FederatedRuntime:
             state = self.codec.decompress(payload)
             nbytes = len(payload)
 
-        if self.transport.is_homogeneous and participants:
-            # Seed arithmetic: per-client cost times the participant count.
-            per_client = self.transport.downlink_seconds(
-                nbytes, participants[0].client_id
-            )
-            seconds = per_client * len(participants)
+        transmission = {
+            client.client_id: self.transport.downlink_seconds(nbytes, client.client_id)
+            for client in participants
+        }
+        aggregate = float(sum(transmission.values()))
+        if self.transport.is_homogeneous:
+            # One shared channel ships the copies back to back: client i's
+            # copy only starts once the previous i copies have gone out, so
+            # its receive time is the cumulative queue position.
+            per_client = {}
+            elapsed = 0.0
+            for client in participants:
+                elapsed += transmission[client.client_id]
+                per_client[client.client_id] = elapsed
+            wallclock = elapsed
         else:
-            seconds = sum(
-                self.transport.downlink_seconds(nbytes, client.client_id)
-                for client in participants
-            )
-        return state, nbytes * len(participants), seconds
+            per_client = transmission
+            wallclock = max(per_client.values(), default=0.0)
+        downlink = DownlinkStats(
+            payload_nbytes=nbytes,
+            total_bytes=nbytes * len(participants),
+            per_client_seconds=per_client,
+            wallclock_seconds=wallclock,
+            aggregate_seconds=aggregate,
+        )
+        return state, downlink
 
     @property
     def channel(self):

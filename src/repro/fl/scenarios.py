@@ -1,0 +1,333 @@
+"""Named fleet scenarios: presets + per-round participation schedules.
+
+The paper's system-level claims are about communication at the *edge-fleet*
+scale, so the runtime needs more than a flat four-client population: fleets
+have heterogeneous links, clients come and go with the time of day, and
+crowds join and leave in bursts.  This module packages those regimes as
+named, reproducible presets:
+
+* a **participation schedule** answers "which clients are reachable in round
+  ``t``?" with a boolean availability mask that
+  :meth:`repro.fl.runtime.FederatedRuntime._sample_clients` applies *before*
+  sampling ``client_fraction`` of the fleet;
+* a :class:`FleetScenario` composes the schedule with
+  :func:`repro.fl.transport.edge_fleet_specs` (link heterogeneity), a
+  partition strategy, and a round scheduler into everything
+  :class:`~repro.fl.runtime.FederatedRuntime` needs.
+
+Presets (``available_scenarios()``):
+
+* ``uniform-edge`` — a steady edge fleet cycling through typical edge uplink
+  bandwidths; every client always reachable; synchronous FedAvg.
+* ``diurnal`` — availability follows a day/night cosine, so round-by-round
+  the reachable fraction swings between ``min_availability`` and
+  ``max_availability``; semi-synchronous rounds.
+* ``flash-crowd`` — a stable core fleet plus a crowd block that joins at
+  ``join_round`` and leaves at ``leave_round``; asynchronous
+  staleness-weighted mixing absorbs the burst.
+
+Use :func:`get_scenario` / :func:`build_fleet_runtime`, or the CLI's
+``fl --scenario`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.config import FLConfig
+from repro.fl.scheduler import RoundScheduler, get_scheduler
+from repro.fl.transport import Transport, edge_fleet_specs
+
+
+# ----------------------------------------------------------------------
+# Participation schedules
+# ----------------------------------------------------------------------
+class ParticipationSchedule:
+    """Per-round client availability: ``mask(t, n)[i]`` is True when client
+    ``i`` is reachable in round ``t``.
+
+    Masks must be a pure function of ``(round_index, num_clients)`` and the
+    schedule's own seeded state so serial and worker-pool executions of the
+    same run see identical fleets.
+    """
+
+    name = "base"
+
+    def mask(self, round_index: int, num_clients: int) -> np.ndarray:
+        """Boolean availability mask of shape ``(num_clients,)``."""
+        raise NotImplementedError
+
+
+class FullParticipation(ParticipationSchedule):
+    """Every client reachable every round (the seed behaviour)."""
+
+    name = "full"
+
+    def mask(self, round_index: int, num_clients: int) -> np.ndarray:
+        return np.ones(num_clients, dtype=bool)
+
+
+class DiurnalSchedule(ParticipationSchedule):
+    """Day/night availability: the reachable fraction follows a cosine.
+
+    At round ``t`` the availability probability is::
+
+        p(t) = min + (max - min) * (1 + cos(2π (t + phase) / period)) / 2
+
+    and each client is independently reachable with probability ``p(t)``
+    drawn from a schedule-private seeded stream, so the fleet thins out and
+    recovers over each simulated "day" without perturbing the runtime's
+    sampling stream.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        period_rounds: int = 24,
+        min_availability: float = 0.2,
+        max_availability: float = 0.95,
+        phase: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if period_rounds <= 0:
+            raise ValueError(f"period_rounds must be positive, got {period_rounds}")
+        if not 0.0 <= min_availability <= max_availability <= 1.0:
+            raise ValueError(
+                "need 0 <= min_availability <= max_availability <= 1, got "
+                f"[{min_availability}, {max_availability}]"
+            )
+        self.period_rounds = int(period_rounds)
+        self.min_availability = float(min_availability)
+        self.max_availability = float(max_availability)
+        self.phase = float(phase)
+        self._seed = int(seed)
+
+    def availability(self, round_index: int) -> float:
+        """The reachable fraction p(t) at ``round_index``."""
+        swing = self.max_availability - self.min_availability
+        cycle = 2.0 * np.pi * (round_index + self.phase) / self.period_rounds
+        return self.min_availability + swing * 0.5 * (1.0 + float(np.cos(cycle)))
+
+    def mask(self, round_index: int, num_clients: int) -> np.ndarray:
+        # A fresh per-round generator keeps the mask a pure function of the
+        # round index: replaying round t yields the same fleet regardless of
+        # how many rounds ran before it.
+        rng = np.random.default_rng((self._seed, round_index))
+        return rng.random(num_clients) < self.availability(round_index)
+
+
+class FlashCrowdSchedule(ParticipationSchedule):
+    """A stable core plus a crowd that joins and leaves in a burst.
+
+    The first ``(1 - crowd_fraction)`` of the fleet (by client id) is always
+    reachable; the remaining crowd block is reachable only for rounds in
+    ``[join_round, leave_round)``.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        join_round: int = 2,
+        leave_round: int = 6,
+        crowd_fraction: float = 0.5,
+    ) -> None:
+        if join_round < 0 or leave_round <= join_round:
+            raise ValueError(
+                f"need 0 <= join_round < leave_round, got [{join_round}, {leave_round})"
+            )
+        if not 0.0 < crowd_fraction < 1.0:
+            raise ValueError(f"crowd_fraction must lie in (0, 1), got {crowd_fraction}")
+        self.join_round = int(join_round)
+        self.leave_round = int(leave_round)
+        self.crowd_fraction = float(crowd_fraction)
+
+    def crowd_start(self, num_clients: int) -> int:
+        """First client id belonging to the crowd block."""
+        core = int(round(num_clients * (1.0 - self.crowd_fraction)))
+        return min(max(core, 1), num_clients)
+
+    def mask(self, round_index: int, num_clients: int) -> np.ndarray:
+        mask = np.zeros(num_clients, dtype=bool)
+        start = self.crowd_start(num_clients)
+        mask[:start] = True
+        if self.join_round <= round_index < self.leave_round:
+            mask[start:] = True
+        return mask
+
+
+# ----------------------------------------------------------------------
+# Scenario presets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named, reproducible fleet regime.
+
+    ``build()`` turns the preset into the concrete pieces a
+    :class:`~repro.fl.runtime.FederatedRuntime` takes: an :class:`FLConfig`,
+    a :class:`Transport`, a :class:`RoundScheduler` and a
+    :class:`ParticipationSchedule`.
+    """
+
+    name: str
+    description: str
+    num_clients: int = 256
+    client_fraction: float = 0.05
+    rounds: int = 5
+    partition_strategy: str = "iid"
+    dirichlet_alpha: float = 0.5
+    scheduler_name: str = "sync"
+    scheduler_kwargs: Dict[str, float] = field(default_factory=dict)
+    bandwidths_mbps: Sequence[float] = (5.0, 10.0, 25.0, 50.0)
+    latency_seconds: float = 0.01
+    dropout_probability: float = 0.0
+    schedule_name: str = "full"
+    schedule_kwargs: Dict[str, float] = field(default_factory=dict)
+
+    def with_overrides(self, **overrides) -> "FleetScenario":
+        """A copy of this preset with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def build(
+        self, seed: int = 0, **config_overrides
+    ) -> Tuple[FLConfig, Transport, RoundScheduler, ParticipationSchedule]:
+        """Materialise the scenario's runtime components."""
+        config_kwargs = dict(
+            num_clients=self.num_clients,
+            rounds=self.rounds,
+            client_fraction=self.client_fraction,
+            partition_strategy=self.partition_strategy,
+            dirichlet_alpha=self.dirichlet_alpha,
+            seed=seed,
+        )
+        config_kwargs.update(config_overrides)
+        config = FLConfig(**config_kwargs)
+        transport = Transport.heterogeneous(
+            edge_fleet_specs(
+                config.num_clients,
+                bandwidths_mbps=tuple(self.bandwidths_mbps),
+                latency_seconds=self.latency_seconds,
+                dropout_probability=self.dropout_probability,
+            )
+        )
+        scheduler = get_scheduler(self.scheduler_name, **dict(self.scheduler_kwargs))
+        schedule = build_schedule(self.schedule_name, seed=seed, **dict(self.schedule_kwargs))
+        return config, transport, scheduler, schedule
+
+
+def build_schedule(name: str, seed: int = 0, **kwargs) -> ParticipationSchedule:
+    """Build a participation schedule by short name."""
+    key = name.lower().replace("_", "-")
+    if key == "full":
+        return FullParticipation()
+    if key == "diurnal":
+        return DiurnalSchedule(seed=seed, **kwargs)
+    if key == "flash-crowd":
+        return FlashCrowdSchedule(**kwargs)
+    raise KeyError(
+        f"unknown schedule {name!r}; available: 'full', 'diurnal', 'flash-crowd'"
+    )
+
+
+_SCENARIOS: Dict[str, FleetScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FleetScenario(
+            name="uniform-edge",
+            description=(
+                "Steady 256-client edge fleet cycling through 5/10/25/50 Mbps "
+                "uplinks; sync FedAvg samples 5% per round"
+            ),
+        ),
+        FleetScenario(
+            name="diurnal",
+            description=(
+                "Fleet whose availability follows a day/night cosine; semi-sync "
+                "rounds cut the stragglers the thin night fleet leaves (flip "
+                "partition_strategy to 'dirichlet' for non-IID data when the "
+                "per-client dataset is large enough)"
+            ),
+            rounds=8,  # one full day/night cycle at period_rounds=8
+            scheduler_name="semi-sync",
+            scheduler_kwargs={"deadline_seconds": 60.0},
+            schedule_name="diurnal",
+            schedule_kwargs={"period_rounds": 8, "min_availability": 0.2,
+                             "max_availability": 0.9},
+        ),
+        FleetScenario(
+            name="flash-crowd",
+            description=(
+                "Stable core fleet plus a crowd block joining at round 2 and "
+                "leaving at round 6; async staleness-weighted mixing"
+            ),
+            rounds=8,  # covers the full join(2) -> leave(6) -> gone arc
+            scheduler_name="async",
+            scheduler_kwargs={"mixing_rate": 0.5, "staleness_exponent": 0.5},
+            schedule_name="flash-crowd",
+            schedule_kwargs={"join_round": 2, "leave_round": 6, "crowd_fraction": 0.5},
+        ),
+    )
+}
+
+
+def available_scenarios() -> List[FleetScenario]:
+    """All scenario presets, sorted by name."""
+    return [_SCENARIOS[name] for name in sorted(_SCENARIOS)]
+
+
+def get_scenario(name: str, **overrides) -> FleetScenario:
+    """Look up a preset by name, optionally overriding its fields."""
+    try:
+        scenario = _SCENARIOS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(_SCENARIOS)}"
+        ) from None
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def build_fleet_runtime(
+    scenario,
+    model_fn,
+    train_dataset,
+    validation_dataset,
+    *,
+    codec=None,
+    executor=None,
+    seed: int = 0,
+    **config_overrides,
+):
+    """Build a :class:`FederatedRuntime` from a scenario (name or instance)."""
+    from repro.fl.runtime import FederatedRuntime
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    config, transport, scheduler, schedule = scenario.build(seed=seed, **config_overrides)
+    return FederatedRuntime(
+        model_fn,
+        train_dataset,
+        validation_dataset,
+        config=config,
+        codec=codec,
+        scheduler=scheduler,
+        executor=executor,
+        transport=transport,
+        schedule=schedule,
+    )
+
+
+__all__ = [
+    "ParticipationSchedule",
+    "FullParticipation",
+    "DiurnalSchedule",
+    "FlashCrowdSchedule",
+    "FleetScenario",
+    "build_schedule",
+    "available_scenarios",
+    "get_scenario",
+    "build_fleet_runtime",
+]

@@ -63,6 +63,7 @@ class FLSimulation:
         scheduler: Optional[RoundScheduler] = None,
         executor=None,
         transport: Optional[Transport] = None,
+        schedule=None,
     ) -> None:
         if transport is None:
             effective = config or FLConfig()
@@ -80,6 +81,7 @@ class FLSimulation:
             scheduler=scheduler,
             executor=executor,
             transport=transport,
+            schedule=schedule,
         )
 
     # ------------------------------------------------------------------

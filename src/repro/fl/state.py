@@ -1,0 +1,228 @@
+"""Lazy client state for fleet-scale federated simulations.
+
+The seed runtime built one :class:`~repro.fl.client.FLClient` — each holding
+its **own full model** — for every configured client, so memory and setup
+time grew as O(num_clients × model params) even when ``client_fraction``
+meant most clients never trained in a given round.  This module provides the
+two pieces that break that coupling:
+
+* :class:`ModelPool` — a bounded, thread-safe pool of reusable model
+  instances.  A client *borrows* a model for the duration of one local
+  training run (load the broadcast state in, train, export the update) and
+  returns it, so the number of resident models is O(max_models) — typically
+  the executor's worker count — instead of O(num_clients).
+* :class:`ClientRegistry` — a sequence of lazily materialised
+  :class:`FLClient` objects.  Client objects themselves are cheap (a dataset
+  reference, a data loader, a few seeds) and are only created when first
+  accessed, which for sub-sampled fleets means most clients are never built
+  at all.
+
+Bit-identity with the eager per-client-model implementation is preserved by
+persisting each client's *stochastic layer streams* (e.g. per-``Dropout``
+RNGs) in the client, not in the shared model: before a borrowed model trains,
+the client's saved generator states are restored into the model's stochastic
+modules; after training the advanced states are captured back.  A client that
+has never trained starts from the pool's *pristine* states — the states a
+freshly constructed model carries — exactly as if it owned a private model.
+Parameters and buffers need no such treatment because ``load_state_dict``
+overwrites them wholesale at the start of every training run.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def stochastic_modules(model: Module) -> List[Module]:
+    """Modules carrying a private random stream (e.g. ``Dropout``), in
+    deterministic tree order."""
+    return [
+        module
+        for _, module in model.named_modules()
+        if isinstance(getattr(module, "_rng", None), np.random.Generator)
+    ]
+
+
+def capture_stochastic_state(model: Module) -> List[dict]:
+    """Snapshot the bit-generator state of every stochastic module."""
+    return [module._rng.bit_generator.state for module in stochastic_modules(model)]
+
+
+def restore_stochastic_state(model: Module, states: Sequence[dict]) -> None:
+    """Restore previously captured stochastic-module states into ``model``."""
+    modules = stochastic_modules(model)
+    if len(modules) != len(states):
+        raise ValueError(
+            f"model has {len(modules)} stochastic modules but {len(states)} "
+            "states were captured; was the model function changed mid-run?"
+        )
+    for module, state in zip(modules, states):
+        module._rng.bit_generator.state = state
+
+
+class ModelPool:
+    """Bounded, thread-safe pool of reusable model instances.
+
+    ``acquire`` hands out a free model, constructing a new one only while
+    fewer than ``max_models`` exist (``None`` = grow on demand, which still
+    bounds residency by the executor's concurrency).  When the pool is
+    exhausted, ``acquire`` blocks until another thread releases — safe under
+    the executor layer because a task never holds more than one model.
+
+    ``created`` / ``peak_in_use`` instrument the memory claim the fleet tests
+    assert: peak resident model instances stay within the worker budget no
+    matter how many clients the fleet has.
+    """
+
+    def __init__(self, model_fn: Callable[[], Module], max_models: Optional[int] = None) -> None:
+        if max_models is not None and max_models <= 0:
+            raise ValueError(f"max_models must be positive, got {max_models}")
+        self._model_fn = model_fn
+        self.max_models = max_models
+        self._condition = threading.Condition()
+        self._free: List[Module] = []
+        self._created = 0
+        self._in_use = 0
+        self._peak_in_use = 0
+        self._pristine_states: Optional[List[dict]] = None
+
+    @property
+    def created(self) -> int:
+        """Total model instances constructed so far (= peak residency)."""
+        return self._created
+
+    @property
+    def in_use(self) -> int:
+        """Models currently borrowed."""
+        return self._in_use
+
+    @property
+    def peak_in_use(self) -> int:
+        """Most models simultaneously borrowed over the pool's lifetime."""
+        return self._peak_in_use
+
+    @property
+    def pristine_states(self) -> List[dict]:
+        """Stochastic-module states of a freshly constructed model.
+
+        Captured from the first model the pool builds; because model
+        factories are deterministic (seeded weight init and layer RNGs),
+        every construction starts from these same states.
+        """
+        if self._pristine_states is None:
+            # Force one construction so first-time borrowers have a reference.
+            self.release(self.acquire())
+        return list(self._pristine_states)
+
+    def acquire(self) -> Module:
+        """Borrow a model, blocking until one is free or can be built."""
+        with self._condition:
+            while True:
+                if self._free:
+                    model = self._free.pop()
+                    break
+                if self.max_models is None or self._created < self.max_models:
+                    model = self._model_fn()
+                    self._created += 1
+                    if self._pristine_states is None:
+                        self._pristine_states = capture_stochastic_state(model)
+                    break
+                self._condition.wait()
+            self._in_use += 1
+            self._peak_in_use = max(self._peak_in_use, self._in_use)
+            return model
+
+    def release(self, model: Module) -> None:
+        """Return a borrowed model to the pool."""
+        with self._condition:
+            self._in_use -= 1
+            self._free.append(model)
+            self._condition.notify()
+
+    @contextmanager
+    def borrow(self) -> Iterator[Module]:
+        """``with pool.borrow() as model:`` acquire/release bracket."""
+        model = self.acquire()
+        try:
+            yield model
+        finally:
+            self.release(model)
+
+
+class ClientRegistry(Sequence):
+    """Lazily materialised client population.
+
+    Behaves like an immutable list of :class:`FLClient`: ``len``, indexing,
+    iteration and ``list(...)`` all work, but a client object is only
+    constructed the first time it is accessed (and then cached).  All clients
+    share one :class:`ModelPool`, so materialising a client does **not**
+    build a model — only its data loader and bookkeeping.
+    """
+
+    def __init__(
+        self,
+        model_fn: Callable[[], Module],
+        datasets: Sequence,
+        config,
+        seeds: Sequence[int],
+        model_pool: ModelPool,
+    ) -> None:
+        if len(datasets) != len(seeds):
+            raise ValueError(
+                f"got {len(datasets)} client datasets but {len(seeds)} seeds"
+            )
+        for client_id, dataset in enumerate(datasets):
+            if len(dataset) == 0:
+                raise ValueError(f"client {client_id} received an empty dataset")
+        self._model_fn = model_fn
+        self._datasets = list(datasets)
+        self._config = config
+        self._seeds = [int(seed) for seed in seeds]
+        self.model_pool = model_pool
+        self._clients: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __getitem__(self, index):
+        from repro.fl.client import FLClient
+
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"client index {index} out of range for {len(self)} clients")
+        client = self._clients.get(index)
+        if client is None:
+            client = FLClient(
+                index,
+                self._model_fn,
+                self._datasets[index],
+                self._config,
+                seed=self._seeds[index],
+                model_pool=self.model_pool,
+            )
+            self._clients[index] = client
+        return client
+
+    @property
+    def materialized_count(self) -> int:
+        """How many client objects have actually been constructed."""
+        return len(self._clients)
+
+
+__all__ = [
+    "ModelPool",
+    "ClientRegistry",
+    "stochastic_modules",
+    "capture_stochastic_state",
+    "restore_stochastic_state",
+]

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.compression.metrics import compression_ratio
 from repro.network.bandwidth import BandwidthModel, SimulatedChannel
 from repro.network.devices import DeviceProfile, get_device_profile
 from repro.network.timing import CommunicationEstimate, estimate_communication
@@ -215,7 +216,9 @@ def transmit_update(
         transfer_seconds=record.seconds,
         compress_seconds=compress_seconds,
         decompress_seconds=decompress_seconds,
-        ratio=original_nbytes / max(len(payload), 1),
+        # One convention for empty payloads everywhere: the shared helper
+        # returns inf, matching repro.compression.metrics.
+        ratio=compression_ratio(original_nbytes, len(payload)),
         delivered=not dropped,
         report=report,
     )

@@ -52,6 +52,35 @@ def test_controller_respects_bounds():
     assert controller.current_bound == pytest.approx(1e-5)
 
 
+def test_clamped_tighten_does_not_stall_relaxation():
+    """Regression: a tighten clamped at min_bound is a hold and must not
+    reset the relax patience counter — otherwise repeated clamped drops keep
+    the bound pinned at the floor long after accuracy recovers."""
+    controller = AdaptiveErrorBoundController(
+        initial_bound=1e-5, min_bound=1e-5, max_bound=1e-1,
+        tolerance=0.02, patience=2, growth_factor=2.0,
+    )
+    controller.observe(0.8)  # good round: patience counter at 1
+    clamped = controller.observe(0.4)  # drop, but the bound is already at the floor
+    assert clamped.action == "hold"
+    assert controller.current_bound == pytest.approx(1e-5)
+    relaxed = controller.observe(0.8)  # second good round completes the patience
+    assert relaxed.action == "relax"
+    assert controller.current_bound == pytest.approx(2e-5)
+
+
+def test_actual_tighten_still_resets_patience():
+    controller = AdaptiveErrorBoundController(
+        initial_bound=1e-2, min_bound=1e-5, tolerance=0.02, patience=2,
+        backoff_factor=10.0, growth_factor=2.0,
+    )
+    controller.observe(0.8)  # patience counter at 1
+    tightened = controller.observe(0.4)  # real tighten: counter resets
+    assert tightened.action == "tighten"
+    assert controller.observe(0.8).action == "hold"  # counter back at 1
+    assert controller.observe(0.8).action == "relax"  # reaches patience again
+
+
 def test_controller_history_records_every_round():
     controller = AdaptiveErrorBoundController()
     for accuracy in (0.3, 0.5, 0.2, 0.6):

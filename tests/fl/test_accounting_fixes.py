@@ -1,0 +1,122 @@
+"""Regression tests for the simulated-time / ratio accounting fixes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.metrics import compression_ratio
+from repro.data import load_dataset
+from repro.fl import FederatedRuntime, FLConfig, LinkSpec, Transport
+from repro.fl.transport import ClientLink, transmit_update
+from repro.nn.models import create_model
+
+
+@pytest.fixture(scope="module")
+def data():
+    full = load_dataset("cifar10", num_samples=240, image_size=8, seed=0)
+    return full.split(0.75, seed=1)
+
+
+@pytest.fixture
+def model_fn():
+    return lambda: create_model("resnet50", "tiny", num_classes=10, seed=9)
+
+
+# ----------------------------------------------------------------------
+# Downlink: parallel wall-clock vs aggregate, and turnaround inclusion
+# ----------------------------------------------------------------------
+def test_heterogeneous_downlink_is_parallel_wallclock(data, model_fn):
+    """Independent links broadcast in parallel: the round's downlink
+    wall-clock is the slowest link, not the sum over the fleet."""
+    train, val = data
+    specs = [LinkSpec(bandwidth_mbps=bw) for bw in (2.0, 10.0, 50.0, 100.0)]
+    runtime = FederatedRuntime(
+        model_fn, train, val,
+        FLConfig(num_clients=4, rounds=1, batch_size=16, seed=3),
+        transport=Transport.heterogeneous(specs),
+    )
+    record = runtime.run_round()
+    per_client = [stat.downlink_seconds for stat in record.client_stats]
+    assert all(seconds > 0 for seconds in per_client)
+    assert record.downlink_seconds == pytest.approx(max(per_client))
+    assert record.downlink_aggregate_seconds == pytest.approx(sum(per_client))
+    assert record.downlink_seconds < record.downlink_aggregate_seconds
+    # The 2 Mbps client receives the same payload 25x slower than the 50 Mbps one.
+    assert per_client[0] > per_client[2]
+
+
+def test_homogeneous_downlink_keeps_seed_serialised_queue(data, model_fn):
+    """A shared channel ships the copies back to back — the seed arithmetic:
+    the wall-clock is the full queue, and each client's receive time is its
+    cumulative queue position (so the last turnaround sees the whole queue)."""
+    train, val = data
+    runtime = FederatedRuntime(
+        model_fn, train, val, FLConfig(num_clients=3, rounds=1, batch_size=16, seed=3)
+    )
+    record = runtime.run_round()
+    per_client = [stat.downlink_seconds for stat in record.client_stats]
+    assert per_client == sorted(per_client)  # later clients wait longer
+    slot = per_client[0]
+    assert per_client == pytest.approx([slot, 2 * slot, 3 * slot])
+    assert record.downlink_seconds == pytest.approx(3 * slot)  # 3 x per-client
+    assert record.downlink_aggregate_seconds == pytest.approx(record.downlink_seconds)
+    # The round cannot end before its own broadcast phase.
+    assert record.simulated_round_seconds >= record.downlink_seconds
+
+
+def test_turnaround_includes_downlink(data, model_fn):
+    train, val = data
+    specs = [LinkSpec(bandwidth_mbps=5.0, latency_seconds=0.5) for _ in range(2)]
+    runtime = FederatedRuntime(
+        model_fn, train, val,
+        FLConfig(num_clients=2, rounds=1, batch_size=16, seed=3),
+        transport=Transport.heterogeneous(specs),
+    )
+    record = runtime.run_round()
+    for stat in record.client_stats:
+        assert stat.downlink_seconds > 0
+        assert stat.turnaround_seconds == pytest.approx(
+            stat.downlink_seconds
+            + stat.train_seconds
+            + stat.compress_seconds
+            + stat.transfer_seconds
+            + stat.decompress_seconds
+        )
+    # The scheduler's round wall-clock sees the downlink through turnaround.
+    assert record.simulated_round_seconds == pytest.approx(
+        max(stat.turnaround_seconds for stat in record.client_stats)
+    )
+
+
+# ----------------------------------------------------------------------
+# Empty-payload ratio convention
+# ----------------------------------------------------------------------
+class _EmptyPayloadCodec:
+    """Degenerate codec producing a zero-byte payload."""
+
+    def compress(self, state_dict):
+        return b""
+
+    def decompress(self, payload):
+        return {}
+
+
+def test_transfer_stats_ratio_matches_metrics_convention():
+    state = {"w": np.ones(16, dtype=np.float32)}
+    link = ClientLink(0, LinkSpec(bandwidth_mbps=10.0))
+    _, stats = transmit_update(state, _EmptyPayloadCodec(), link)
+    assert stats.payload_nbytes == 0
+    assert stats.ratio == compression_ratio(64, 0)
+    assert stats.ratio == float("inf")
+
+
+def test_transfer_stats_ratio_regular_payload():
+    state = {"w": np.zeros(1024, dtype=np.float32)}
+    link = ClientLink(0, LinkSpec(bandwidth_mbps=10.0))
+    from repro.core import FedSZCompressor
+
+    _, stats = transmit_update(state, FedSZCompressor(error_bound=1e-2), link)
+    assert stats.ratio == pytest.approx(
+        compression_ratio(4096, stats.payload_nbytes)
+    )

@@ -1,0 +1,141 @@
+"""Fleet-scale integration: 256 clients on a bounded-memory runtime.
+
+The acceptance claim of the fleet refactor: a 256-client,
+``client_fraction=0.05`` run completes with peak resident model instances
+bounded by the executor's worker count (not the fleet size), and the
+simulated outcome is bit-identical between the serial and worker-pool
+executions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.fl import (
+    FederatedRuntime,
+    FLConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    build_fleet_runtime,
+)
+from repro.nn.models import create_model
+
+FLEET_SIZE = 256
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def fleet_data():
+    # 600 samples -> 450 train after the split: ~2 samples per client.
+    full = load_dataset("cifar10", num_samples=600, image_size=8, seed=0)
+    return full.split(0.75, seed=1)
+
+
+@pytest.fixture
+def model_fn():
+    # mobilenetv2 carries Dropout, so this also proves the per-client
+    # stochastic-stream persistence under model pooling.
+    return lambda: create_model("mobilenetv2", "tiny", num_classes=10, seed=9)
+
+
+def _fleet_config():
+    return FLConfig(
+        num_clients=FLEET_SIZE, rounds=2, batch_size=8, client_fraction=0.05, seed=5
+    )
+
+
+def _deterministic_fields(history):
+    return [
+        (
+            record.global_accuracy,
+            record.global_loss,
+            record.mean_client_loss,
+            record.mean_client_accuracy,
+            record.uplink_bytes,
+            record.participating_clients,
+            tuple((s.client_id, s.train_loss, s.train_accuracy) for s in record.client_stats),
+        )
+        for record in history.records
+    ]
+
+
+def test_fleet_run_bounds_resident_models_and_stays_deterministic(fleet_data, model_fn):
+    train, val = fleet_data
+
+    serial = FederatedRuntime(
+        model_fn, train, val, _fleet_config(), executor=SerialExecutor()
+    )
+    serial_history = serial.run()
+
+    pooled = FederatedRuntime(
+        model_fn, train, val, _fleet_config(), executor=ParallelExecutor(max_workers=WORKERS)
+    )
+    pooled_history = pooled.run()
+
+    # ceil(0.05 x 256) = 13 participants per round.
+    assert all(r.participating_clients == 13 for r in serial_history.records)
+
+    # The memory ceiling: resident models track the worker budget, never the
+    # fleet; the serial path needs exactly one.
+    assert serial.model_pool.created == 1
+    assert pooled.model_pool.created <= WORKERS
+    assert pooled.model_pool.peak_in_use <= WORKERS
+    assert pooled.model_pool.in_use == 0
+
+    # Lazy materialisation: only sampled clients ever exist as objects.
+    sampled = {
+        stat.client_id for record in pooled_history.records for stat in record.client_stats
+    }
+    assert pooled.clients.materialized_count == len(sampled) < FLEET_SIZE
+
+    # Worker-pool execution is bit-identical to the serial loop at fleet scale.
+    assert _deterministic_fields(serial_history) == _deterministic_fields(pooled_history)
+
+
+def test_fleet_rerun_is_reproducible(fleet_data, model_fn):
+    train, val = fleet_data
+    first = FederatedRuntime(
+        model_fn, train, val, _fleet_config(), executor=ParallelExecutor(max_workers=WORKERS)
+    ).run()
+    second = FederatedRuntime(
+        model_fn, train, val, _fleet_config(), executor=ParallelExecutor(max_workers=WORKERS)
+    ).run()
+    assert _deterministic_fields(first) == _deterministic_fields(second)
+
+
+def test_explicit_max_resident_models_overrides_executor(fleet_data, model_fn):
+    train, val = fleet_data
+    config = FLConfig(
+        num_clients=FLEET_SIZE, rounds=1, batch_size=8, client_fraction=0.05,
+        max_resident_models=2, seed=5,
+    )
+    runtime = FederatedRuntime(
+        model_fn, train, val, config, executor=ParallelExecutor(max_workers=WORKERS)
+    )
+    runtime.run()
+    assert runtime.model_pool.max_models == 2
+    assert runtime.model_pool.created <= 2
+
+
+def test_flash_crowd_participation_trace(fleet_data, model_fn):
+    """The availability schedule shapes per-round participation: the core
+    fleet before/after, core + crowd during the flash."""
+    train, val = fleet_data
+    runtime = build_fleet_runtime(
+        "flash-crowd",
+        model_fn,
+        train,
+        val,
+        seed=5,
+        num_clients=FLEET_SIZE,
+        rounds=4,
+        batch_size=8,
+        executor=ParallelExecutor(max_workers=WORKERS),
+    )
+    history = runtime.run(4)
+    participation = [record.participating_clients for record in history.records]
+    # core = 128 clients -> ceil(0.05 x 128) = 7; full fleet -> 13.
+    assert participation == [7, 7, 13, 13]
+    assert runtime.model_pool.created <= WORKERS
