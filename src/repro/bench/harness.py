@@ -11,11 +11,21 @@ the reported wall time.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.compression.base import safe_throughput_mbps
 from repro.utils.timing import Timer
+
+
+def _json_rate(value: Optional[float]) -> Optional[float]:
+    """Rates destined for BENCH JSON: ``inf`` ("too fast to measure") maps to
+    ``null`` so the emitted file stays strict RFC-8259 JSON."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
 
 
 @dataclass
@@ -38,15 +48,20 @@ class MetricRecord:
 
     @property
     def items_per_second(self) -> Optional[float]:
-        if self.items is None or self.seconds <= 0.0:
+        if self.items is None:
             return None
-        return self.items / self.seconds
+        # Zero/denormal elapsed times (clock granularity on sub-microsecond
+        # metrics) read as "too fast to measure", never as a division error.
+        if self.seconds <= 0.0:
+            return float("inf")
+        rate = self.items / self.seconds
+        return rate if math.isfinite(rate) else float("inf")
 
     @property
     def mb_per_second(self) -> Optional[float]:
-        if self.nbytes is None or self.seconds <= 0.0:
+        if self.nbytes is None:
             return None
-        return self.nbytes / 1e6 / self.seconds
+        return safe_throughput_mbps(self.nbytes, self.seconds)
 
     def as_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -57,10 +72,10 @@ class MetricRecord:
         }
         if self.items is not None:
             payload["items"] = self.items
-            payload["items_per_second"] = self.items_per_second
+            payload["items_per_second"] = _json_rate(self.items_per_second)
         if self.nbytes is not None:
             payload["nbytes"] = self.nbytes
-            payload["mb_per_second"] = self.mb_per_second
+            payload["mb_per_second"] = _json_rate(self.mb_per_second)
         if self.phases:
             payload["phases"] = dict(self.phases)
         if self.extra:

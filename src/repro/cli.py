@@ -10,6 +10,7 @@ Usage::
         --executor parallel --workers 4 --heterogeneous --straggler 2
     python -m repro.cli fl --scenario uniform-edge --clients 256 \
         --client-fraction 0.05 --executor parallel --workers 4
+    python -m repro.cli fl --parallel-tensors --codec-workers 4
     python -m repro.cli bench list
     python -m repro.cli bench --workload tiny --out BENCH_tiny.json
     python -m repro.cli bench compare benchmarks/baselines/tiny.json BENCH_tiny.json
@@ -102,6 +103,8 @@ def run_fl(
     dropout: float = 0.0,
     scenario: Optional[str] = None,
     client_fraction: Optional[float] = None,
+    parallel_tensors: bool = False,
+    codec_workers: Optional[int] = None,
     seed: int = 0,
 ):
     """Run one federated simulation through the layered runtime.
@@ -160,7 +163,19 @@ def run_fl(
     )
     from repro.fl.scheduler import canonical_scheduler_name
 
-    codec = None if error_bound is None else FedSZCompressor(error_bound=error_bound)
+    # An explicit worker count is an unambiguous request for per-tensor
+    # parallelism; silently running serial because --parallel-tensors was
+    # omitted would fake the benchmark the user thinks they are running.
+    parallel_tensors = parallel_tensors or codec_workers is not None
+    codec = (
+        None
+        if error_bound is None
+        else FedSZCompressor(
+            error_bound=error_bound,
+            parallel_tensors=parallel_tensors,
+            max_codec_workers=codec_workers,
+        )
+    )
 
     if preset is not None:
         runtime = build_fleet_runtime(
@@ -236,6 +251,8 @@ def _run_fl_from_args(arguments) -> "object":
         dropout=arguments.dropout,
         scenario=arguments.scenario,
         client_fraction=arguments.client_fraction,
+        parallel_tensors=arguments.parallel_tensors,
+        codec_workers=arguments.codec_workers,
         seed=arguments.seed,
     )
 
@@ -320,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
     fl_parser.add_argument("--client-fraction", type=float, default=None,
                            help="fraction of clients sampled per round "
                                 "(participants = ceil(fraction x clients))")
+    fl_parser.add_argument("--parallel-tensors", action="store_true",
+                           help="compress the lossy partition's tensors "
+                                "concurrently on a thread pool (payloads are "
+                                "byte-identical to the serial path)")
+    fl_parser.add_argument("--codec-workers", type=int, default=None,
+                           help="thread-pool width for per-tensor codec work "
+                                "(implies --parallel-tensors; default: cpu count)")
     fl_parser.add_argument("--seed", type=int, default=0)
     fl_parser.add_argument("--per-client", action="store_true",
                            help="also print per-client round stats")

@@ -26,6 +26,8 @@ from repro.compression.base import (
     LosslessCompressor,
     LossyCompressor,
     resolve_error_bound,
+    safe_throughput_mbps,
+    validate_lossy_input,
 )
 from repro.compression.entropy import decode_indices, encode_indices
 from repro.compression.errors import (
@@ -69,6 +71,14 @@ from repro.compression.registry import (
     get_lossy_compressor,
     register_lossless,
     register_lossy,
+    register_predictor,
+)
+from repro.compression.stages import (
+    EntropyStage,
+    PredictorStage,
+    Quantizer,
+    StageContext,
+    StagedCompressor,
 )
 from repro.compression.sz2 import SZ2Compressor
 from repro.compression.sz3 import SZ3Compressor
@@ -81,6 +91,13 @@ __all__ = [
     "LosslessCompressor",
     "LossyCompressor",
     "resolve_error_bound",
+    "safe_throughput_mbps",
+    "validate_lossy_input",
+    "EntropyStage",
+    "PredictorStage",
+    "Quantizer",
+    "StageContext",
+    "StagedCompressor",
     "encode_indices",
     "decode_indices",
     "CompressionError",
@@ -116,6 +133,7 @@ __all__ = [
     "get_lossless_compressor",
     "register_lossy",
     "register_lossless",
+    "register_predictor",
     "SZ2Compressor",
     "SZ3Compressor",
     "SZxCompressor",

@@ -17,6 +17,8 @@ stream is self-describing and independently decodable.
 
 from __future__ import annotations
 
+import copy
+import math
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -72,6 +74,22 @@ def resolve_error_bound(
     return float(error_bound * value_range)
 
 
+def safe_throughput_mbps(nbytes: int, seconds: Optional[float]) -> float:
+    """Throughput in MB/s that never raises on degenerate timings.
+
+    Sub-microsecond codec calls can report an elapsed time of exactly zero
+    (clock granularity) or a denormal float (min-of-N over already-tiny
+    measurements); both map to ``inf`` — "too fast to measure" — instead of a
+    ``ZeroDivisionError`` or an overflow warning escaping into a report.
+    """
+    if seconds is None or not seconds > 0.0 or not math.isfinite(seconds):
+        return float("inf")
+    throughput = nbytes / 1e6 / seconds
+    if not math.isfinite(throughput):  # denormal elapsed overflows the division
+        return float("inf")
+    return throughput
+
+
 @dataclass(frozen=True)
 class CompressionStats:
     """Measurements describing one compression invocation."""
@@ -93,9 +111,44 @@ class CompressionStats:
     @property
     def compress_throughput_mbps(self) -> float:
         """Compression throughput in MB/s (10^6 bytes per second)."""
-        if self.compress_seconds <= 0:
-            return float("inf")
-        return self.original_nbytes / 1e6 / self.compress_seconds
+        return safe_throughput_mbps(self.original_nbytes, self.compress_seconds)
+
+    @property
+    def decompress_throughput_mbps(self) -> float:
+        """Decompression throughput in MB/s of reconstructed data."""
+        return safe_throughput_mbps(self.original_nbytes, self.decompress_seconds)
+
+
+def validate_lossy_input(data: np.ndarray, codec: str = "lossy") -> np.ndarray:
+    """Uniform input policy shared by every error-bounded lossy codec.
+
+    The policy (identical for SZ2, SZ3, SZx, ZFP and any predictor-stage codec
+    added through :mod:`repro.compression.stages`):
+
+    * only floating-point dtypes are accepted — integer, boolean, complex and
+      object arrays raise :class:`UnsupportedDataError`;
+    * every value must be finite: ``NaN``, ``+Inf`` and ``-Inf`` all raise
+      :class:`UnsupportedDataError`.  Error-bounded quantization of a
+      non-finite value is undefined (``|x - x̂| <= ε`` cannot hold), and
+      silently passing such values through would corrupt downstream model
+      aggregation, so rejection is loud and happens before any bytes are
+      produced;
+    * empty arrays are allowed and round-trip to empty arrays.
+
+    ``codec`` names the caller in the error message so pipeline-level failures
+    point at the stage that rejected the tensor.
+    """
+    data = np.asarray(data)
+    if data.dtype.kind not in "f":
+        raise UnsupportedDataError(
+            f"{codec}: lossy compressors expect floating-point data, got dtype {data.dtype}"
+        )
+    if not np.all(np.isfinite(data)):
+        raise UnsupportedDataError(
+            f"{codec}: lossy compressors require finite input values "
+            "(NaN/+Inf/-Inf are rejected; see repro.compression.base.validate_lossy_input)"
+        )
+    return data
 
 
 class LossyCompressor(ABC):
@@ -103,6 +156,19 @@ class LossyCompressor(ABC):
 
     #: Short registry name, e.g. ``"sz2"``.
     name: str = "lossy"
+
+    #: Whether decompressed output strictly satisfies ``|x - x̂| <= ε``.
+    #: ZFP's fixed-precision mode is the one analogue that does not.
+    strictly_bounded: bool = True
+
+    def clone(self) -> "LossyCompressor":
+        """A fresh codec with the same configuration.
+
+        Stage-based codecs keep all state in plain configuration attributes
+        (stages themselves are stateless), so a shallow copy is a complete,
+        O(1) clone.  Codecs carrying mutable state must override this.
+        """
+        return copy.copy(self)
 
     @abstractmethod
     def compress(
@@ -144,17 +210,9 @@ class LossyCompressor(ABC):
         )
         return reconstructed, stats
 
-    @staticmethod
-    def _validate_input(data: np.ndarray) -> np.ndarray:
-        """Common validation: floating dtype, finite values, non-empty allowed."""
-        data = np.asarray(data)
-        if data.dtype.kind not in "f":
-            raise UnsupportedDataError(
-                f"lossy compressors expect floating-point data, got dtype {data.dtype}"
-            )
-        if not np.all(np.isfinite(data)):
-            raise UnsupportedDataError("lossy compressors require finite input values")
-        return data
+    def _validate_input(self, data: np.ndarray) -> np.ndarray:
+        """Apply the shared input policy (see :func:`validate_lossy_input`)."""
+        return validate_lossy_input(data, codec=self.name)
 
 
 class LosslessCompressor(ABC):
@@ -162,6 +220,10 @@ class LosslessCompressor(ABC):
 
     #: Short registry name, e.g. ``"blosc-lz"``.
     name: str = "lossless"
+
+    def clone(self) -> "LosslessCompressor":
+        """A fresh codec with the same configuration (see LossyCompressor.clone)."""
+        return copy.copy(self)
 
     @abstractmethod
     def compress(self, data: bytes) -> bytes:
@@ -191,6 +253,39 @@ class LosslessCompressor(ABC):
         return restored, stats
 
 
+def begin_sections(buffer: bytearray, count: int) -> None:
+    """Write the section-stream header (magic + section count) into ``buffer``."""
+    buffer += _HEADER_STRUCT.pack(_SECTION_MAGIC, count)
+
+
+def append_section_header(buffer: bytearray, name: str, data_nbytes: int) -> None:
+    """Write one section's entry header + name, promising ``data_nbytes`` of data.
+
+    The caller must append exactly ``data_nbytes`` bytes afterwards; this
+    split lets composite payloads stream nested sections straight into the
+    final buffer instead of materialising them as an intermediate blob first.
+    """
+    encoded_name = name.encode("utf-8")
+    if len(encoded_name) > 0xFFFF:
+        raise ValueError(f"section name too long: {name!r}")
+    buffer += _ENTRY_STRUCT.pack(len(encoded_name), data_nbytes)
+    buffer += encoded_name
+
+
+def append_section(buffer: bytearray, name: str, data: bytes) -> None:
+    """Write one complete named section (header + data) into ``buffer``."""
+    append_section_header(buffer, name, len(data))
+    buffer += data
+
+
+def sections_nbytes(sizes: Mapping[str, int]) -> int:
+    """Framed size of a section stream holding the given per-section data sizes."""
+    total = _HEADER_STRUCT.size
+    for name, size in sizes.items():
+        total += _ENTRY_STRUCT.size + len(name.encode("utf-8")) + size
+    return total
+
+
 def pack_sections(sections: Mapping[str, bytes]) -> bytes:
     """Serialize named byte sections into a single framed payload.
 
@@ -198,15 +293,11 @@ def pack_sections(sections: Mapping[str, bytes]) -> bytes:
     (name-length, data-length) header followed by the UTF-8 name and the raw
     data.  Section order is preserved.
     """
-    parts = [_HEADER_STRUCT.pack(_SECTION_MAGIC, len(sections))]
+    buffer = bytearray()
+    begin_sections(buffer, len(sections))
     for name, data in sections.items():
-        encoded_name = name.encode("utf-8")
-        if len(encoded_name) > 0xFFFF:
-            raise ValueError(f"section name too long: {name!r}")
-        parts.append(_ENTRY_STRUCT.pack(len(encoded_name), len(data)))
-        parts.append(encoded_name)
-        parts.append(bytes(data))
-    return b"".join(parts)
+        append_section(buffer, name, bytes(data))
+    return bytes(buffer)
 
 
 def unpack_sections(payload: bytes) -> Dict[str, bytes]:

@@ -20,6 +20,7 @@ from repro.compression.base import (
     ErrorBoundMode,
     LosslessCompressor,
     LossyCompressor,
+    safe_throughput_mbps,
 )
 
 
@@ -84,16 +85,12 @@ class LossyEvaluation:
     @property
     def compress_throughput_mbps(self) -> float:
         """Uncompressed megabytes processed per second during compression."""
-        if self.compress_seconds <= 0:
-            return float("inf")
-        return self.original_nbytes / 1e6 / self.compress_seconds
+        return safe_throughput_mbps(self.original_nbytes, self.compress_seconds)
 
     @property
     def decompress_throughput_mbps(self) -> float:
         """Uncompressed megabytes produced per second during decompression."""
-        if self.decompress_seconds <= 0:
-            return float("inf")
-        return self.original_nbytes / 1e6 / self.decompress_seconds
+        return safe_throughput_mbps(self.original_nbytes, self.decompress_seconds)
 
     def as_row(self) -> Dict[str, float]:
         """Flatten the evaluation into a dictionary suitable for tabulation."""
@@ -171,9 +168,7 @@ class LosslessEvaluation:
     @property
     def compress_throughput_mbps(self) -> float:
         """Uncompressed megabytes processed per second during compression."""
-        if self.compress_seconds <= 0:
-            return float("inf")
-        return self.original_nbytes / 1e6 / self.compress_seconds
+        return safe_throughput_mbps(self.original_nbytes, self.compress_seconds)
 
     def as_row(self) -> Dict[str, float]:
         """Flatten the evaluation into a dictionary suitable for tabulation."""

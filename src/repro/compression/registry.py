@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.compression.base import LosslessCompressor, LossyCompressor
 from repro.compression.errors import UnknownCompressorError
+from repro.compression.stages import PredictorStage, StagedCompressor
 from repro.compression.lossless import (
     BloscLZCompressor,
     GzipCompressor,
@@ -36,6 +37,31 @@ def register_lossy(name: str, factory: Callable[[], LossyCompressor]) -> None:
 def register_lossless(name: str, factory: Callable[[], LosslessCompressor]) -> None:
     """Register (or replace) a lossless compressor factory under ``name``."""
     _LOSSLESS_FACTORIES[name.lower()] = factory
+
+
+def register_predictor(
+    name: str,
+    predictor_factory: Callable[[], PredictorStage],
+    strictly_bounded: bool = True,
+) -> None:
+    """Register a lossy codec from a bare :class:`PredictorStage` factory.
+
+    This is the one-file-codec path the stage architecture exists for: write a
+    predictor stage (encode/decode over flat float64 arrays) and register it —
+    validation, bound resolution, the raw fallback, metadata framing and the
+    ``LossyCompressor`` interface are supplied by a generated
+    :class:`StagedCompressor` subclass.
+    """
+    codec_name = name.lower()
+
+    class _PredictorBackedCompressor(StagedCompressor):
+        def _predictor(self) -> PredictorStage:
+            return predictor_factory()
+
+    _PredictorBackedCompressor.name = codec_name
+    _PredictorBackedCompressor.strictly_bounded = bool(strictly_bounded)
+    _PredictorBackedCompressor.__name__ = f"Staged_{codec_name}_Compressor"
+    register_lossy(codec_name, _PredictorBackedCompressor)
 
 
 def get_lossy_compressor(name: str) -> LossyCompressor:

@@ -1,0 +1,292 @@
+"""Composable stage pipeline shared by every EBLC codec.
+
+The FedSZ paper's codecs (SZ2, SZ3, SZx, ZFP) all follow the same shape —
+SZ3 itself is explicitly architected this way, as a modular
+predictor/quantizer/encoder pipeline:
+
+.. code-block:: text
+
+                 ┌────────────┐   ┌───────────┐   ┌──────────────┐
+    tensor ───▶  │ Predictor  │──▶│ Quantizer │──▶│ EntropyStage │──▶ payload
+                 │   stage    │   │  (2ε grid)│   │ (Huffman /   │
+                 └────────────┘   └───────────┘   │  DEFLATE)    │
+                                                  └──────────────┘
+
+Everything that is *not* prediction lives here, in exactly one place:
+
+* :class:`StageContext` — the per-invocation facts every stage sees (size,
+  shape, dtype, resolved absolute bound, codec parameters);
+* :class:`PredictorStage` — the one interface a new codec must implement
+  (``encode`` sections from a flat float64 array, ``decode`` them back);
+* :class:`Quantizer` / :class:`EntropyStage` — the shared ``2ε`` uniform
+  quantization and entropy-coding stages;
+* metadata framing (:func:`pack_stage_meta` / :func:`unpack_stage_meta`) and
+  the raw fallback for empty or constant inputs;
+* :class:`StagedCompressor` — the generic composition: validate → resolve
+  bound → predictor → frame.  SZ2/SZ3/SZx/ZFP are each a thin
+  :class:`PredictorStage` plus a :class:`StagedCompressor` subclass exposing
+  their tuning knobs.
+
+Adding a codec therefore means writing one predictor stage (see
+``README.md`` → "Adding a codec as a predictor stage") and registering it
+with :func:`repro.compression.registry.register_predictor`.
+
+Stages are stateless: all state flows through the :class:`StageContext`, so
+codec ``clone()`` is a shallow copy and concurrent per-tensor compression
+(see :mod:`repro.core.pipeline`) needs no locking.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.compression.base import (
+    ErrorBoundMode,
+    LossyCompressor,
+    pack_array,
+    pack_sections,
+    resolve_error_bound,
+    unpack_array,
+    unpack_sections,
+    validate_lossy_input,
+)
+from repro.compression.entropy import EntropyBackend, decode_indices, encode_indices
+from repro.compression.errors import CorruptPayloadError
+from repro.compression.quantizer import dequantize_residuals, quantize_residuals
+
+#: Shared payload version for every staged codec (bumped from the per-codec
+#: version 2 formats the monolithic implementations used).
+STAGED_FORMAT_VERSION = 3
+
+_META_STRUCT = struct.Struct("<IQdB")
+
+
+@dataclass
+class StageContext:
+    """Per-invocation facts shared by every stage of one (de)compression.
+
+    ``params`` carries the codec-specific scalars that must round-trip through
+    the payload metadata (block size, cubic flag, retained precision, ...);
+    predictors populate it in :meth:`PredictorStage.prepare` and read it back
+    in :meth:`PredictorStage.decode`, so a decoder instance configured
+    differently from the encoder still decodes faithfully.
+    """
+
+    size: int
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    error_bound: float = 0.0
+    mode: ErrorBoundMode = ErrorBoundMode.REL
+    absolute_bound: float = 0.0
+    raw: bool = False
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def bin_width(self) -> float:
+        """Uniform quantization grid spacing (``2ε``)."""
+        return 2.0 * self.absolute_bound
+
+
+class Quantizer:
+    """Uniform error-bounded quantization stage (grid width ``2ε``).
+
+    Thin stage wrapper over :mod:`repro.compression.quantizer`'s residual
+    primitives: ``encode`` maps value-minus-prediction onto signed bin
+    indices, ``decode`` reconstructs ``prediction + index * 2ε``, which keeps
+    the element-wise error within ``ε`` by construction.
+    """
+
+    @staticmethod
+    def encode(values: np.ndarray, predictions: np.ndarray, ctx: StageContext) -> np.ndarray:
+        return quantize_residuals(values, predictions, ctx.absolute_bound)
+
+    @staticmethod
+    def decode(indices: np.ndarray, predictions: np.ndarray, ctx: StageContext) -> np.ndarray:
+        return dequantize_residuals(indices, predictions, ctx.absolute_bound)
+
+
+@dataclass(frozen=True)
+class EntropyStage:
+    """Entropy-coding stage over quantization indices (Huffman / DEFLATE)."""
+
+    backend: EntropyBackend = "deflate"
+    level: int = 6
+
+    def encode(self, indices: np.ndarray) -> bytes:
+        return encode_indices(indices, self.backend, self.level)
+
+    @staticmethod
+    def decode(payload: bytes) -> np.ndarray:
+        # Entropy payloads are self-describing, so decode needs no config.
+        return decode_indices(payload)
+
+
+class PredictorStage(ABC):
+    """The one interface a codec must implement in the stage pipeline.
+
+    ``prepare`` resolves the error bound (the shared default handles the
+    ABS/REL semantics and the zero-bound raw fallback) and records the
+    codec parameters that must survive into the payload metadata.
+    ``encode`` turns the flat float64 array into named payload sections;
+    ``decode`` is its exact inverse, reading parameters from the context the
+    metadata was unpacked into.  Implementations must be stateless — every
+    per-call fact belongs on the :class:`StageContext`.
+    """
+
+    #: Human-readable stage name (diagnostics only).
+    name: str = "predictor"
+
+    def prepare(self, flat: np.ndarray, ctx: StageContext) -> None:
+        """Resolve the bound and decide whether to fall back to raw storage.
+
+        The default covers every strictly-bounded SZ-style codec: resolve the
+        (bound, mode) pair into an absolute tolerance, and store the input
+        raw when it is empty or constant (zero resolved bound) — exact
+        storage is trivially cheap for both.
+        """
+        ctx.absolute_bound = resolve_error_bound(flat, ctx.error_bound, ctx.mode)
+        ctx.raw = ctx.size == 0 or ctx.absolute_bound <= 0
+
+    @abstractmethod
+    def encode(self, flat: np.ndarray, ctx: StageContext) -> Dict[str, bytes]:
+        """Compress a flat float64 array into named payload sections."""
+
+    @abstractmethod
+    def decode(self, sections: Mapping[str, bytes], ctx: StageContext) -> np.ndarray:
+        """Reconstruct the flat float64 array from payload sections."""
+
+
+def pack_stage_meta(ctx: StageContext) -> bytes:
+    """Serialize the shared metadata section for a staged payload."""
+    params_blob = json.dumps(ctx.params, sort_keys=True).encode("utf-8")
+    dtype_name = np.dtype(ctx.dtype).str.encode("ascii")
+    blob = bytearray(
+        _META_STRUCT.pack(
+            STAGED_FORMAT_VERSION, ctx.size, float(ctx.absolute_bound), 1 if ctx.raw else 0
+        )
+    )
+    blob += struct.pack("<H", len(dtype_name)) + dtype_name
+    blob += struct.pack("<B", len(ctx.shape))
+    if ctx.shape:
+        blob += struct.pack(f"<{len(ctx.shape)}q", *ctx.shape)
+    blob += struct.pack("<I", len(params_blob)) + params_blob
+    return bytes(blob)
+
+
+def unpack_stage_meta(blob: bytes | None, codec: str) -> StageContext:
+    """Inverse of :func:`pack_stage_meta`, validating the format version."""
+    if not blob or len(blob) < _META_STRUCT.size:
+        raise CorruptPayloadError(f"{codec} payload missing metadata section")
+    try:
+        version, size, absolute_bound, raw = _META_STRUCT.unpack_from(blob, 0)
+        if version != STAGED_FORMAT_VERSION:
+            raise CorruptPayloadError(f"unsupported {codec} payload version {version}")
+        cursor = _META_STRUCT.size
+        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
+        cursor += 2
+        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
+        cursor += dtype_len
+        (ndim,) = struct.unpack_from("<B", blob, cursor)
+        cursor += 1
+        shape: Tuple[int, ...] = ()
+        if ndim:
+            shape = struct.unpack_from(f"<{ndim}q", blob, cursor)
+            cursor += 8 * ndim
+        (params_len,) = struct.unpack_from("<I", blob, cursor)
+        cursor += 4
+        params = json.loads(blob[cursor : cursor + params_len].decode("utf-8"))
+    except (struct.error, UnicodeDecodeError, json.JSONDecodeError, TypeError) as error:
+        raise CorruptPayloadError(f"corrupt {codec} payload metadata: {error}") from error
+    return StageContext(
+        size=int(size),
+        shape=tuple(int(s) for s in shape),
+        dtype=dtype,
+        absolute_bound=float(absolute_bound),
+        raw=bool(raw),
+        params=params,
+    )
+
+
+class StagedCompressor(LossyCompressor):
+    """Generic error-bounded compressor composed from a predictor stage.
+
+    Subclasses hold the codec's tuning knobs as plain instance attributes
+    (so ``FedSZConfig.lossy_options`` can keep overriding them by name) and
+    build their predictor per call from those attributes — predictor
+    construction is a couple of attribute assignments, so this costs nothing
+    and guarantees option mutations are always picked up.
+    """
+
+    def _predictor(self) -> PredictorStage:
+        raise NotImplementedError(f"{type(self).__name__} must build its predictor stage")
+
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: float,
+        mode: ErrorBoundMode = ErrorBoundMode.REL,
+    ) -> bytes:
+        data = validate_lossy_input(data, codec=self.name)
+        flat = data.astype(np.float64, copy=False).ravel()
+        ctx = StageContext(
+            size=flat.size,
+            shape=data.shape,
+            dtype=data.dtype,
+            error_bound=float(error_bound),
+            mode=mode,
+        )
+        predictor = self._predictor()
+        predictor.prepare(flat, ctx)
+        if ctx.raw:
+            return pack_sections({"meta": pack_stage_meta(ctx), "raw": pack_array(data)})
+        sections = predictor.encode(flat, ctx)
+        return pack_sections({"meta": pack_stage_meta(ctx), **sections})
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        sections = unpack_sections(payload)
+        ctx = unpack_stage_meta(sections.get("meta"), self.name)
+        if ctx.raw:
+            return unpack_array(sections["raw"])
+        flat = self._predictor().decode(sections, ctx)
+        return flat.astype(ctx.dtype).reshape(ctx.shape)
+
+
+def pad_to_blocks(flat: np.ndarray, block: int, fill: str = "edge") -> Tuple[np.ndarray, int]:
+    """Pad a 1-D float64 array up to a whole number of ``block``-sized blocks.
+
+    ``fill="edge"`` repeats the last value (SZ2/SZx — keeps the pad inside
+    the final block's value range), ``fill="zero"`` pads with zeros (ZFP —
+    matches block-floating-point alignment of a partially filled block).
+    """
+    num_blocks = -(-flat.size // block)
+    padded_size = num_blocks * block
+    if padded_size == flat.size:
+        return flat, num_blocks
+    if fill == "edge":
+        padded = np.empty(padded_size, dtype=np.float64)
+        padded[flat.size :] = flat[-1]
+    elif fill == "zero":
+        padded = np.zeros(padded_size, dtype=np.float64)
+    else:
+        raise ValueError(f"unknown pad fill {fill!r}")
+    padded[: flat.size] = flat
+    return padded, num_blocks
+
+
+__all__ = [
+    "STAGED_FORMAT_VERSION",
+    "StageContext",
+    "Quantizer",
+    "EntropyStage",
+    "PredictorStage",
+    "StagedCompressor",
+    "pack_stage_meta",
+    "unpack_stage_meta",
+    "pad_to_blocks",
+]

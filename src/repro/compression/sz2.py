@@ -1,4 +1,4 @@
-"""SZ2-style error-bounded lossy compressor.
+"""SZ2-style error-bounded lossy compressor, as a predictor stage.
 
 SZ2 (Liang et al., IEEE Big Data 2018) is a prediction-based compressor: data
 are processed in small blocks, each block is predicted either with a Lorenzo
@@ -7,48 +7,127 @@ prediction residuals are quantized onto a uniform grid of width ``2ε`` and the
 resulting integer indices are entropy-coded (Huffman + Zstd in the original
 implementation).
 
-This reproduction implements the same pipeline for the 1-D flattened tensors
-FedSZ produces:
-
-* per-block hybrid prediction — Lorenzo (delta of quantized values, which for
-  uniform quantization telescopes to an exactly error-bounded reconstruction)
-  versus a per-block linear regression, chosen by an estimated coding cost;
-* uniform error-bounded quantization of the residuals;
-* an entropy stage (DEFLATE by default, canonical Huffman + DEFLATE
-  optionally) standing in for Huffman + Zstd.
-
-The decompressed output always satisfies ``|x - x̂| <= ε`` element-wise, where
-``ε`` is the absolute bound resolved from the requested mode.
+In the stage pipeline (:mod:`repro.compression.stages`) only the hybrid
+Lorenzo/regression *prediction* lives here; validation, bound resolution, the
+raw fallback, ``2ε`` quantization, entropy coding and payload framing are the
+shared stages.  The decompressed output always satisfies ``|x - x̂| <= ε``
+element-wise and is bit-identical to the pre-refactor monolithic
+implementation (pinned by ``tests/compression/test_staged_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.compression.base import (
-    ErrorBoundMode,
-    LossyCompressor,
-    pack_array,
-    pack_sections,
-    resolve_error_bound,
-    unpack_array,
-    unpack_sections,
-)
+from repro.compression.base import pack_array, unpack_array
 from repro.compression.bitstream import pack_bit_flags, unpack_bit_flags
-from repro.compression.entropy import EntropyBackend, decode_indices, encode_indices
-from repro.compression.errors import CorruptPayloadError
+from repro.compression.entropy import EntropyBackend
+from repro.compression.stages import (
+    EntropyStage,
+    PredictorStage,
+    Quantizer,
+    StageContext,
+    StagedCompressor,
+    pad_to_blocks,
+)
 
-_META_STRUCT = struct.Struct("<IQdddII")
-_FORMAT_VERSION = 2
 
-_MODE_LORENZO = 0
-_MODE_REGRESSION = 1
+class SZ2Predictor(PredictorStage):
+    """Blockwise hybrid Lorenzo/regression prediction (SZ2 analogue)."""
+
+    name = "sz2-hybrid"
+
+    def __init__(self, block_size: int, entropy: EntropyStage) -> None:
+        self.block_size = int(block_size)
+        self.entropy = entropy
+
+    def prepare(self, flat: np.ndarray, ctx: StageContext) -> None:
+        super().prepare(flat, ctx)
+        ctx.params["block_size"] = self.block_size
+        # Anchor the quantization grid at zero: model weights are centred on
+        # zero, so this keeps the quantization error itself zero-mean and makes
+        # the error distribution mirror the (heavy-tailed) weight distribution,
+        # which is the behaviour Section VII-D analyses.
+        ctx.params["offset"] = 0.0
+
+    def encode(self, flat: np.ndarray, ctx: StageContext) -> Dict[str, bytes]:
+        offset = float(ctx.params["offset"])
+        block = self.block_size
+        padded, num_blocks = pad_to_blocks(flat, block, fill="edge")
+        blocks = padded.reshape(num_blocks, block)
+
+        # --- Lorenzo candidate: delta of quantized values, which for uniform
+        # quantization telescopes to an exactly error-bounded reconstruction.
+        quantized = Quantizer.encode(blocks, offset, ctx)
+        lorenzo_codes = np.empty_like(quantized)
+        lorenzo_codes[:, 0] = quantized[:, 0]
+        lorenzo_codes[:, 1:] = np.diff(quantized, axis=1)
+
+        # --- Regression candidate -----------------------------------------
+        positions = np.arange(block, dtype=np.float64)
+        position_mean = positions.mean()
+        position_var = float(np.sum((positions - position_mean) ** 2))
+        block_means = blocks.mean(axis=1)
+        slopes = ((blocks - block_means[:, None]) @ (positions - position_mean)) / position_var
+        intercepts = block_means - slopes * position_mean
+        # Coefficients are stored as float32; predict with the stored precision
+        # so that compression and decompression agree exactly.
+        slopes32 = slopes.astype(np.float32)
+        intercepts32 = intercepts.astype(np.float32)
+        predictions = (
+            intercepts32.astype(np.float64)[:, None]
+            + slopes32.astype(np.float64)[:, None] * positions[None, :]
+        )
+        regression_codes = Quantizer.encode(blocks, predictions, ctx)
+
+        # --- Per-block mode selection -------------------------------------
+        lorenzo_cost = _estimate_block_bits(lorenzo_codes)
+        regression_cost = _estimate_block_bits(regression_codes) + 64.0  # two float32 coefficients
+        use_regression = regression_cost < lorenzo_cost
+
+        codes = np.where(use_regression[:, None], regression_codes, lorenzo_codes)
+        coefficients = np.stack(
+            [intercepts32[use_regression], slopes32[use_regression]], axis=1
+        ).astype(np.float32)
+
+        return {
+            "modes": pack_bit_flags(use_regression),
+            "coef": pack_array(coefficients),
+            "codes": self.entropy.encode(codes.ravel()),
+        }
+
+    def decode(self, sections: Mapping[str, bytes], ctx: StageContext) -> np.ndarray:
+        size = ctx.size
+        offset = float(ctx.params.get("offset", 0.0))
+        block = int(ctx.params["block_size"])
+        num_blocks = -(-size // block) if size else 0
+
+        codes = EntropyStage.decode(sections["codes"]).reshape(num_blocks, block)
+        use_regression = unpack_bit_flags(sections["modes"], num_blocks)
+        coefficients = unpack_array(sections["coef"]).reshape(-1, 2)
+
+        reconstruction = np.empty((num_blocks, block), dtype=np.float64)
+
+        lorenzo_mask = ~use_regression
+        if np.any(lorenzo_mask):
+            quantized = np.cumsum(codes[lorenzo_mask], axis=1)
+            reconstruction[lorenzo_mask] = Quantizer.decode(quantized, offset, ctx)
+
+        if np.any(use_regression):
+            positions = np.arange(block, dtype=np.float64)
+            intercepts = coefficients[:, 0].astype(np.float64)
+            slopes = coefficients[:, 1].astype(np.float64)
+            predictions = intercepts[:, None] + slopes[:, None] * positions[None, :]
+            reconstruction[use_regression] = Quantizer.decode(
+                codes[use_regression], predictions, ctx
+            )
+
+        return reconstruction.ravel()[:size]
 
 
-class SZ2Compressor(LossyCompressor):
+class SZ2Compressor(StagedCompressor):
     """Blockwise hybrid Lorenzo/regression compressor (SZ2 analogue)."""
 
     name = "sz2"
@@ -65,178 +144,10 @@ class SZ2Compressor(LossyCompressor):
         self.entropy_backend = entropy_backend
         self.compression_level = int(compression_level)
 
-    # ------------------------------------------------------------------
-    # Compression
-    # ------------------------------------------------------------------
-    def compress(
-        self,
-        data: np.ndarray,
-        error_bound: float,
-        mode: ErrorBoundMode = ErrorBoundMode.REL,
-    ) -> bytes:
-        data = self._validate_input(data)
-        original_shape = data.shape
-        original_dtype = data.dtype
-        flat = data.astype(np.float64, copy=False).ravel()
-        absolute_bound = resolve_error_bound(flat, error_bound, mode)
-
-        if flat.size == 0 or absolute_bound <= 0:
-            # Constant or empty data: fall back to storing the raw values.
-            sections = {
-                "meta": self._pack_meta(flat.size, absolute_bound, 0.0, original_shape, original_dtype, raw=True),
-                "raw": pack_array(data),
-            }
-            return pack_sections(sections)
-
-        # Anchor the quantization grid at zero: model weights are centred on
-        # zero, so this keeps the quantization error itself zero-mean and makes
-        # the error distribution mirror the (heavy-tailed) weight distribution,
-        # which is the behaviour Section VII-D analyses.
-        offset = 0.0
-        bin_width = 2.0 * absolute_bound
-        block = self.block_size
-        padded, num_blocks = _pad_to_blocks(flat, block)
-        blocks = padded.reshape(num_blocks, block)
-
-        # --- Lorenzo candidate -------------------------------------------------
-        quantized = np.rint((blocks - offset) / bin_width).astype(np.int64)
-        lorenzo_codes = np.empty_like(quantized)
-        lorenzo_codes[:, 0] = quantized[:, 0]
-        lorenzo_codes[:, 1:] = np.diff(quantized, axis=1)
-
-        # --- Regression candidate ----------------------------------------------
-        positions = np.arange(block, dtype=np.float64)
-        position_mean = positions.mean()
-        position_var = float(np.sum((positions - position_mean) ** 2))
-        block_means = blocks.mean(axis=1)
-        slopes = ((blocks - block_means[:, None]) @ (positions - position_mean)) / position_var
-        intercepts = block_means - slopes * position_mean
-        # Coefficients are stored as float32; predict with the stored precision
-        # so that compression and decompression agree exactly.
-        slopes32 = slopes.astype(np.float32)
-        intercepts32 = intercepts.astype(np.float32)
-        predictions = (
-            intercepts32.astype(np.float64)[:, None]
-            + slopes32.astype(np.float64)[:, None] * positions[None, :]
+    def _predictor(self) -> SZ2Predictor:
+        return SZ2Predictor(
+            self.block_size, EntropyStage(self.entropy_backend, self.compression_level)
         )
-        regression_codes = np.rint((blocks - predictions) / bin_width).astype(np.int64)
-
-        # --- Per-block mode selection ------------------------------------------
-        lorenzo_cost = _estimate_block_bits(lorenzo_codes)
-        regression_cost = _estimate_block_bits(regression_codes) + 64.0  # two float32 coefficients
-        use_regression = regression_cost < lorenzo_cost
-
-        codes = np.where(use_regression[:, None], regression_codes, lorenzo_codes)
-        coefficients = np.stack(
-            [intercepts32[use_regression], slopes32[use_regression]], axis=1
-        ).astype(np.float32)
-
-        sections = {
-            "meta": self._pack_meta(flat.size, absolute_bound, offset, original_shape, original_dtype, raw=False),
-            "modes": pack_bit_flags(use_regression),
-            "coef": pack_array(coefficients),
-            "codes": encode_indices(codes.ravel(), self.entropy_backend, self.compression_level),
-        }
-        return pack_sections(sections)
-
-    # ------------------------------------------------------------------
-    # Decompression
-    # ------------------------------------------------------------------
-    def decompress(self, payload: bytes) -> np.ndarray:
-        sections = unpack_sections(payload)
-        meta = self._unpack_meta(sections.get("meta"))
-        if meta["raw"]:
-            return unpack_array(sections["raw"])
-
-        size = meta["size"]
-        absolute_bound = meta["absolute_bound"]
-        offset = meta["offset"]
-        bin_width = 2.0 * absolute_bound
-        block = meta["block_size"]
-        num_blocks = -(-size // block) if size else 0
-
-        codes = decode_indices(sections["codes"]).reshape(num_blocks, block)
-        use_regression = unpack_bit_flags(sections["modes"], num_blocks)
-        coefficients = unpack_array(sections["coef"]).reshape(-1, 2)
-
-        reconstruction = np.empty((num_blocks, block), dtype=np.float64)
-
-        lorenzo_mask = ~use_regression
-        if np.any(lorenzo_mask):
-            quantized = np.cumsum(codes[lorenzo_mask], axis=1)
-            reconstruction[lorenzo_mask] = offset + quantized * bin_width
-
-        if np.any(use_regression):
-            positions = np.arange(block, dtype=np.float64)
-            intercepts = coefficients[:, 0].astype(np.float64)
-            slopes = coefficients[:, 1].astype(np.float64)
-            predictions = intercepts[:, None] + slopes[:, None] * positions[None, :]
-            reconstruction[use_regression] = predictions + codes[use_regression] * bin_width
-
-        flat = reconstruction.ravel()[:size]
-        return flat.astype(meta["dtype"]).reshape(meta["shape"])
-
-    # ------------------------------------------------------------------
-    # Metadata framing
-    # ------------------------------------------------------------------
-    def _pack_meta(
-        self,
-        size: int,
-        absolute_bound: float,
-        offset: float,
-        shape: Tuple[int, ...],
-        dtype: np.dtype,
-        raw: bool,
-    ) -> bytes:
-        dtype_name = np.dtype(dtype).str.encode("ascii")
-        header = _META_STRUCT.pack(
-            _FORMAT_VERSION,
-            size,
-            float(absolute_bound),
-            float(offset),
-            0.0,
-            self.block_size,
-            1 if raw else 0,
-        )
-        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
-        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
-
-    @staticmethod
-    def _unpack_meta(blob: bytes | None) -> dict:
-        if not blob or len(blob) < _META_STRUCT.size:
-            raise CorruptPayloadError("SZ2 payload missing metadata section")
-        version, size, absolute_bound, offset, _, block_size, raw = _META_STRUCT.unpack_from(blob, 0)
-        if version != _FORMAT_VERSION:
-            raise CorruptPayloadError(f"unsupported SZ2 payload version {version}")
-        cursor = _META_STRUCT.size
-        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
-        cursor += 2
-        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
-        cursor += dtype_len
-        (ndim,) = struct.unpack_from("<B", blob, cursor)
-        cursor += 1
-        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
-        return {
-            "size": int(size),
-            "absolute_bound": float(absolute_bound),
-            "offset": float(offset),
-            "block_size": int(block_size),
-            "raw": bool(raw),
-            "dtype": dtype,
-            "shape": tuple(int(s) for s in shape),
-        }
-
-
-def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
-    """Pad a 1-D array with its last value up to a whole number of blocks."""
-    num_blocks = -(-flat.size // block)
-    padded_size = num_blocks * block
-    if padded_size == flat.size:
-        return flat, num_blocks
-    padded = np.empty(padded_size, dtype=np.float64)
-    padded[: flat.size] = flat
-    padded[flat.size :] = flat[-1]
-    return padded, num_blocks
 
 
 def _estimate_block_bits(codes: np.ndarray) -> np.ndarray:

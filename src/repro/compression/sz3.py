@@ -1,52 +1,107 @@
-"""SZ3-style error-bounded lossy compressor.
+"""SZ3-style error-bounded lossy compressor, as a predictor stage.
 
 SZ3 (Liang et al., IEEE TBD 2023; Zhao et al., ICDE 2021) replaces SZ2's
 blockwise Lorenzo/regression hybrid with a multi-level dynamic spline
 interpolation predictor: the data are refined level by level, and each new
 point is predicted from already-reconstructed neighbours with linear or cubic
-interpolation before its residual is quantized.
-
-This reproduction implements the 1-D variant of that design:
+interpolation before its residual is quantized.  SZ3 is itself architected as
+a modular predictor/quantizer/encoder pipeline — exactly the decomposition
+:mod:`repro.compression.stages` provides — so this module holds only the
+multi-level interpolation predictor:
 
 * a binary multi-level refinement over the flattened tensor, processing
   strides ``2^k, 2^{k-1}, …, 1``;
 * per-point cubic interpolation when four reconstructed neighbours exist,
   falling back to linear interpolation and finally to previous-value
-  prediction near the boundaries;
-* uniform error-bounded quantization of the prediction residuals and the same
-  entropy stage used by the SZ2 analogue.
+  prediction near the boundaries.
 
 Prediction always uses *reconstructed* values, so the decompressor can follow
-the identical schedule and the error bound holds exactly.
+the identical schedule and the error bound holds exactly; outputs are
+bit-identical to the pre-refactor implementation.
 """
 
 from __future__ import annotations
 
-import struct
-from typing import List, Tuple
+from typing import Dict, List, Mapping
 
 import numpy as np
 
-from repro.compression.base import (
-    ErrorBoundMode,
-    LossyCompressor,
-    pack_array,
-    pack_sections,
-    resolve_error_bound,
-    unpack_array,
-    unpack_sections,
-)
-from repro.compression.entropy import EntropyBackend, decode_indices, encode_indices
+from repro.compression.entropy import EntropyBackend
 from repro.compression.errors import CorruptPayloadError
-
-_META_STRUCT = struct.Struct("<IQddI")
-_FORMAT_VERSION = 2
+from repro.compression.stages import (
+    EntropyStage,
+    PredictorStage,
+    Quantizer,
+    StageContext,
+    StagedCompressor,
+)
 
 #: Classic 4-point cubic interpolation weights used by SZ3's spline predictor.
 _CUBIC_WEIGHTS = (-1.0 / 16.0, 9.0 / 16.0, 9.0 / 16.0, -1.0 / 16.0)
 
 
-class SZ3Compressor(LossyCompressor):
+class SZ3Predictor(PredictorStage):
+    """Multi-level spline interpolation prediction (SZ3 analogue)."""
+
+    name = "sz3-interpolation"
+
+    def __init__(self, use_cubic: bool, entropy: EntropyStage) -> None:
+        self.use_cubic = bool(use_cubic)
+        self.entropy = entropy
+
+    def prepare(self, flat: np.ndarray, ctx: StageContext) -> None:
+        super().prepare(flat, ctx)
+        ctx.params["use_cubic"] = self.use_cubic
+
+    def encode(self, flat: np.ndarray, ctx: StageContext) -> Dict[str, bytes]:
+        bin_width = ctx.bin_width
+        reconstruction = np.zeros_like(flat)
+        codes: List[np.ndarray] = []
+
+        # Anchor point: the first element is quantized against zero.
+        anchor_index = np.rint(flat[0] / bin_width).astype(np.int64)
+        reconstruction[0] = anchor_index * bin_width
+        codes.append(np.atleast_1d(anchor_index))
+
+        for stride in _interpolation_strides(flat.size):
+            targets = np.arange(stride, flat.size, 2 * stride)
+            if targets.size == 0:
+                continue
+            predictions = _predict(reconstruction, targets, stride, flat.size, self.use_cubic)
+            level_codes = Quantizer.encode(flat[targets], predictions, ctx)
+            reconstruction[targets] = Quantizer.decode(level_codes, predictions, ctx)
+            codes.append(level_codes)
+
+        return {"codes": self.entropy.encode(np.concatenate(codes))}
+
+    def decode(self, sections: Mapping[str, bytes], ctx: StageContext) -> np.ndarray:
+        size = ctx.size
+        bin_width = ctx.bin_width
+        use_cubic = bool(ctx.params["use_cubic"])
+
+        all_codes = EntropyStage.decode(sections["codes"])
+        reconstruction = np.zeros(size, dtype=np.float64)
+
+        if all_codes.size == 0:
+            raise CorruptPayloadError("sz3 payload holds no quantization codes")
+        reconstruction[0] = all_codes[0] * bin_width
+        cursor = 1
+
+        for stride in _interpolation_strides(size):
+            targets = np.arange(stride, size, 2 * stride)
+            if targets.size == 0:
+                continue
+            level_codes = all_codes[cursor : cursor + targets.size]
+            if level_codes.size != targets.size:
+                raise CorruptPayloadError("sz3 payload truncated: missing level codes")
+            cursor += targets.size
+            predictions = _predict(reconstruction, targets, stride, size, use_cubic)
+            reconstruction[targets] = Quantizer.decode(level_codes, predictions, ctx)
+
+        return reconstruction
+
+
+class SZ3Compressor(StagedCompressor):
     """Multi-level interpolation predictor compressor (SZ3 analogue)."""
 
     name = "sz3"
@@ -61,129 +116,10 @@ class SZ3Compressor(LossyCompressor):
         self.compression_level = int(compression_level)
         self.use_cubic = bool(use_cubic)
 
-    # ------------------------------------------------------------------
-    # Compression
-    # ------------------------------------------------------------------
-    def compress(
-        self,
-        data: np.ndarray,
-        error_bound: float,
-        mode: ErrorBoundMode = ErrorBoundMode.REL,
-    ) -> bytes:
-        data = self._validate_input(data)
-        original_shape = data.shape
-        original_dtype = data.dtype
-        flat = data.astype(np.float64, copy=False).ravel()
-        absolute_bound = resolve_error_bound(flat, error_bound, mode)
-
-        if flat.size == 0 or absolute_bound <= 0:
-            sections = {
-                "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=True),
-                "raw": pack_array(data),
-            }
-            return pack_sections(sections)
-
-        bin_width = 2.0 * absolute_bound
-        reconstruction = np.zeros_like(flat)
-        codes: List[np.ndarray] = []
-
-        # Anchor point: the first element is quantized against zero.
-        anchor_index = np.rint(flat[0] / bin_width).astype(np.int64)
-        reconstruction[0] = anchor_index * bin_width
-        codes.append(np.atleast_1d(anchor_index))
-
-        for stride in _interpolation_strides(flat.size):
-            targets = np.arange(stride, flat.size, 2 * stride)
-            if targets.size == 0:
-                continue
-            predictions = _predict(reconstruction, targets, stride, flat.size, self.use_cubic)
-            level_codes = np.rint((flat[targets] - predictions) / bin_width).astype(np.int64)
-            reconstruction[targets] = predictions + level_codes * bin_width
-            codes.append(level_codes)
-
-        all_codes = np.concatenate(codes)
-        sections = {
-            "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=False),
-            "codes": encode_indices(all_codes, self.entropy_backend, self.compression_level),
-        }
-        return pack_sections(sections)
-
-    # ------------------------------------------------------------------
-    # Decompression
-    # ------------------------------------------------------------------
-    def decompress(self, payload: bytes) -> np.ndarray:
-        sections = unpack_sections(payload)
-        meta = self._unpack_meta(sections.get("meta"))
-        if meta["raw"]:
-            return unpack_array(sections["raw"])
-
-        size = meta["size"]
-        absolute_bound = meta["absolute_bound"]
-        bin_width = 2.0 * absolute_bound
-        use_cubic = meta["use_cubic"]
-
-        all_codes = decode_indices(sections["codes"])
-        reconstruction = np.zeros(size, dtype=np.float64)
-        cursor = 0
-
-        if all_codes.size == 0:
-            raise CorruptPayloadError("SZ3 payload holds no quantization codes")
-        reconstruction[0] = all_codes[0] * bin_width
-        cursor = 1
-
-        for stride in _interpolation_strides(size):
-            targets = np.arange(stride, size, 2 * stride)
-            if targets.size == 0:
-                continue
-            level_codes = all_codes[cursor : cursor + targets.size]
-            if level_codes.size != targets.size:
-                raise CorruptPayloadError("SZ3 payload truncated: missing level codes")
-            cursor += targets.size
-            predictions = _predict(reconstruction, targets, stride, size, use_cubic)
-            reconstruction[targets] = predictions + level_codes * bin_width
-
-        return reconstruction.astype(meta["dtype"]).reshape(meta["shape"])
-
-    # ------------------------------------------------------------------
-    # Metadata framing
-    # ------------------------------------------------------------------
-    def _pack_meta(
-        self,
-        size: int,
-        absolute_bound: float,
-        shape: Tuple[int, ...],
-        dtype: np.dtype,
-        raw: bool,
-    ) -> bytes:
-        flags = (1 if raw else 0) | ((1 if self.use_cubic else 0) << 1)
-        dtype_name = np.dtype(dtype).str.encode("ascii")
-        header = _META_STRUCT.pack(_FORMAT_VERSION, size, float(absolute_bound), 0.0, flags)
-        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
-        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
-
-    @staticmethod
-    def _unpack_meta(blob: bytes | None) -> dict:
-        if not blob or len(blob) < _META_STRUCT.size:
-            raise CorruptPayloadError("SZ3 payload missing metadata section")
-        version, size, absolute_bound, _, flags = _META_STRUCT.unpack_from(blob, 0)
-        if version != _FORMAT_VERSION:
-            raise CorruptPayloadError(f"unsupported SZ3 payload version {version}")
-        cursor = _META_STRUCT.size
-        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
-        cursor += 2
-        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
-        cursor += dtype_len
-        (ndim,) = struct.unpack_from("<B", blob, cursor)
-        cursor += 1
-        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
-        return {
-            "size": int(size),
-            "absolute_bound": float(absolute_bound),
-            "raw": bool(flags & 1),
-            "use_cubic": bool(flags & 2),
-            "dtype": dtype,
-            "shape": tuple(int(s) for s in shape),
-        }
+    def _predictor(self) -> SZ3Predictor:
+        return SZ3Predictor(
+            self.use_cubic, EntropyStage(self.entropy_backend, self.compression_level)
+        )
 
 
 def _interpolation_strides(size: int) -> List[int]:

@@ -1,4 +1,4 @@
-"""SZx-style ultra-fast error-bounded lossy compressor.
+"""SZx-style ultra-fast error-bounded lossy compressor, as a predictor stage.
 
 SZx (Yu et al., HPDC 2022) trades compression ratio for speed: the data are
 scanned in fixed-size blocks, each block is either declared *constant* (every
@@ -6,7 +6,8 @@ value within the error bound of the block mean, so only the mean is stored) or
 *non-constant*, in which case the values are stored with cheap bit-wise
 truncation and no entropy coding at all.
 
-The reproduction follows the same two-mode design:
+In the stage pipeline this module holds only the constant-block /
+bit-truncation predictor:
 
 * constant blocks store a single float32 mean;
 * non-constant blocks store, per value, a sign bit and a magnitude index
@@ -16,66 +17,43 @@ The reproduction follows the same two-mode design:
   SZ3 pipelines, which is exactly the behaviour the FedSZ paper observes
   (compression ratio pinned near ~4.8× and poor model accuracy).
 
-No entropy stage is applied, keeping the codec extremely fast.
+No entropy stage is applied, keeping the codec extremely fast.  Outputs are
+bit-identical to the pre-refactor implementation.
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
-from repro.compression.base import (
-    ErrorBoundMode,
-    LossyCompressor,
-    pack_array,
-    pack_sections,
-    resolve_error_bound,
-    unpack_array,
-    unpack_sections,
-)
+from repro.compression.base import pack_array, unpack_array
 from repro.compression.bitstream import pack_bit_flags, unpack_bit_flags
 from repro.compression.errors import CorruptPayloadError
+from repro.compression.stages import (
+    PredictorStage,
+    StageContext,
+    StagedCompressor,
+    pad_to_blocks,
+)
 
-_META_STRUCT = struct.Struct("<IQdII")
-_FORMAT_VERSION = 2
 
+class SZxPredictor(PredictorStage):
+    """Constant-block detection plus fixed-width bit truncation (SZx analogue)."""
 
-class SZxCompressor(LossyCompressor):
-    """Constant-block + bit-truncation compressor (SZx analogue)."""
+    name = "szx-truncation"
 
-    name = "szx"
-
-    def __init__(self, block_size: int = 128) -> None:
-        if block_size < 4:
-            raise ValueError(f"block_size must be >= 4, got {block_size}")
+    def __init__(self, block_size: int) -> None:
         self.block_size = int(block_size)
 
-    # ------------------------------------------------------------------
-    # Compression
-    # ------------------------------------------------------------------
-    def compress(
-        self,
-        data: np.ndarray,
-        error_bound: float,
-        mode: ErrorBoundMode = ErrorBoundMode.REL,
-    ) -> bytes:
-        data = self._validate_input(data)
-        original_shape = data.shape
-        original_dtype = data.dtype
-        flat = data.astype(np.float64, copy=False).ravel()
-        absolute_bound = resolve_error_bound(flat, error_bound, mode)
+    def prepare(self, flat: np.ndarray, ctx: StageContext) -> None:
+        super().prepare(flat, ctx)
+        ctx.params["block_size"] = self.block_size
 
-        if flat.size == 0 or absolute_bound <= 0:
-            sections = {
-                "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=True),
-                "raw": pack_array(data),
-            }
-            return pack_sections(sections)
-
+    def encode(self, flat: np.ndarray, ctx: StageContext) -> Dict[str, bytes]:
+        absolute_bound = ctx.absolute_bound
         block = self.block_size
-        padded, num_blocks = _pad_to_blocks(flat, block)
+        padded, num_blocks = pad_to_blocks(flat, block, fill="edge")
         blocks = padded.reshape(num_blocks, block)
 
         # Block means are stored as float32, so compute constancy against the
@@ -107,27 +85,17 @@ class SZxCompressor(LossyCompressor):
             payload_parts.append(packed)
         values_blob = b"".join(payload_parts)
 
-        sections = {
-            "meta": self._pack_meta(flat.size, absolute_bound, original_shape, original_dtype, raw=False),
+        return {
             "flags": pack_bit_flags(is_constant),
             "means": pack_array(means.astype(np.float32)),
             "widths": pack_array(widths),
             "values": values_blob,
         }
-        return pack_sections(sections)
 
-    # ------------------------------------------------------------------
-    # Decompression
-    # ------------------------------------------------------------------
-    def decompress(self, payload: bytes) -> np.ndarray:
-        sections = unpack_sections(payload)
-        meta = self._unpack_meta(sections.get("meta"))
-        if meta["raw"]:
-            return unpack_array(sections["raw"])
-
-        size = meta["size"]
-        absolute_bound = meta["absolute_bound"]
-        block = meta["block_size"]
+    def decode(self, sections: Mapping[str, bytes], ctx: StageContext) -> np.ndarray:
+        size = ctx.size
+        absolute_bound = ctx.absolute_bound
+        block = int(ctx.params["block_size"])
         num_blocks = -(-size // block)
 
         is_constant = unpack_bit_flags(sections["flags"], num_blocks)
@@ -145,69 +113,28 @@ class SZxCompressor(LossyCompressor):
             nbytes = _packed_group_nbytes(group_count, block, int(width))
             chunk = values_blob[cursor : cursor + nbytes]
             if len(chunk) != nbytes:
-                raise CorruptPayloadError("SZx payload truncated inside value blocks")
+                raise CorruptPayloadError("szx payload truncated inside value blocks")
             cursor += nbytes
             magnitudes, signs = _unpack_group_values(chunk, group_count, block, int(width))
             deviations = magnitudes.astype(np.float64) * absolute_bound
             deviations[signs.astype(bool)] *= -1.0
             reconstruction[group] = means[group, None] + deviations
 
-        flat = reconstruction.ravel()[:size]
-        return flat.astype(meta["dtype"]).reshape(meta["shape"])
-
-    # ------------------------------------------------------------------
-    # Metadata framing
-    # ------------------------------------------------------------------
-    def _pack_meta(
-        self,
-        size: int,
-        absolute_bound: float,
-        shape: Tuple[int, ...],
-        dtype: np.dtype,
-        raw: bool,
-    ) -> bytes:
-        dtype_name = np.dtype(dtype).str.encode("ascii")
-        header = _META_STRUCT.pack(
-            _FORMAT_VERSION, size, float(absolute_bound), self.block_size, 1 if raw else 0
-        )
-        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
-        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
-
-    @staticmethod
-    def _unpack_meta(blob: bytes | None) -> dict:
-        if not blob or len(blob) < _META_STRUCT.size:
-            raise CorruptPayloadError("SZx payload missing metadata section")
-        version, size, absolute_bound, block_size, raw = _META_STRUCT.unpack_from(blob, 0)
-        if version != _FORMAT_VERSION:
-            raise CorruptPayloadError(f"unsupported SZx payload version {version}")
-        cursor = _META_STRUCT.size
-        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
-        cursor += 2
-        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
-        cursor += dtype_len
-        (ndim,) = struct.unpack_from("<B", blob, cursor)
-        cursor += 1
-        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
-        return {
-            "size": int(size),
-            "absolute_bound": float(absolute_bound),
-            "block_size": int(block_size),
-            "raw": bool(raw),
-            "dtype": dtype,
-            "shape": tuple(int(s) for s in shape),
-        }
+        return reconstruction.ravel()[:size]
 
 
-def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
-    """Pad a 1-D array with its last value up to a whole number of blocks."""
-    num_blocks = -(-flat.size // block)
-    padded_size = num_blocks * block
-    if padded_size == flat.size:
-        return flat, num_blocks
-    padded = np.empty(padded_size, dtype=np.float64)
-    padded[: flat.size] = flat
-    padded[flat.size :] = flat[-1]
-    return padded, num_blocks
+class SZxCompressor(StagedCompressor):
+    """Constant-block + bit-truncation compressor (SZx analogue)."""
+
+    name = "szx"
+
+    def __init__(self, block_size: int = 128) -> None:
+        if block_size < 4:
+            raise ValueError(f"block_size must be >= 4, got {block_size}")
+        self.block_size = int(block_size)
+
+    def _predictor(self) -> SZxPredictor:
+        return SZxPredictor(self.block_size)
 
 
 def _packed_group_nbytes(group_count: int, block: int, width: int) -> int:

@@ -1,4 +1,4 @@
-"""ZFP-style transform-based lossy compressor (fixed-precision mode).
+"""ZFP-style transform-based lossy compressor (fixed-precision mode), staged.
 
 ZFP (Lindstrom, TVCG 2014) partitions data into small blocks, aligns each
 block to a common exponent (block-floating-point), applies a fast orthogonal
@@ -7,7 +7,10 @@ bit-plane.  Its "fixed precision" mode keeps a fixed number of coefficient
 bits per block, which is the mode the FedSZ paper selects because ZFP offers
 no value-range-relative error bound.
 
-The reproduction keeps the same structure while staying fully vectorised:
+In the stage pipeline this module holds only the transform/coefficient
+predictor; it overrides :meth:`PredictorStage.prepare` because ZFP is the one
+codec whose "bound resolution" maps the requested bound onto a retained
+precision (``precision ≈ log2(1/rel) + 1``) instead of an absolute tolerance:
 
 * blocks of four samples over the flattened tensor;
 * block-floating-point normalisation against the block's largest exponent;
@@ -17,30 +20,26 @@ The reproduction keeps the same structure while staying fully vectorised:
   stream (standing in for ZFP's bit-plane entropy coding).
 
 As in real ZFP's fixed-precision mode, the reconstruction error is *not*
-strictly bounded by a user error bound; the requested relative bound is only
-used to choose the retained precision (``precision ≈ log2(1/rel) + 1``).
+strictly bounded by a user error bound (``strictly_bounded = False``).
+Outputs are bit-identical to the pre-refactor implementation.
 """
 
 from __future__ import annotations
 
-import struct
 import zlib
-from typing import Tuple
+from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.compression.base import (
-    ErrorBoundMode,
-    LossyCompressor,
-    pack_array,
-    pack_sections,
-    unpack_array,
-    unpack_sections,
-)
+from repro.compression.base import ErrorBoundMode
 from repro.compression.errors import CorruptPayloadError, InvalidErrorBoundError
+from repro.compression.stages import (
+    PredictorStage,
+    StageContext,
+    StagedCompressor,
+    pad_to_blocks,
+)
 
-_META_STRUCT = struct.Struct("<IQIII")
-_FORMAT_VERSION = 2
 _BLOCK = 4
 
 #: Orthonormal 4-point DCT-II matrix (rows are basis vectors).
@@ -70,45 +69,33 @@ def precision_for_relative_bound(relative_bound: float) -> int:
     return int(np.clip(precision, 2, 30))
 
 
-class ZFPCompressor(LossyCompressor):
-    """Block transform + fixed-precision coefficient coding (ZFP analogue)."""
+class ZFPPredictor(PredictorStage):
+    """Block DCT transform + fixed-precision coefficient coding (ZFP analogue)."""
 
-    name = "zfp"
+    name = "zfp-transform"
 
-    def __init__(self, compression_level: int = 6) -> None:
+    def __init__(self, compression_level: int) -> None:
         self.compression_level = int(compression_level)
 
-    # ------------------------------------------------------------------
-    # Compression
-    # ------------------------------------------------------------------
-    def compress(
-        self,
-        data: np.ndarray,
-        error_bound: float,
-        mode: ErrorBoundMode = ErrorBoundMode.REL,
-    ) -> bytes:
-        data = self._validate_input(data)
-        original_shape = data.shape
-        original_dtype = data.dtype
-        flat = data.astype(np.float64, copy=False).ravel()
-
-        if mode == ErrorBoundMode.REL:
-            precision = precision_for_relative_bound(error_bound)
+    def prepare(self, flat: np.ndarray, ctx: StageContext) -> None:
+        # ZFP's bound semantics differ from the SZ family: the requested bound
+        # only selects the retained coefficient precision, and the raw
+        # fallback triggers solely for empty input (constant data still goes
+        # through the transform, faithful to the original tool).
+        if ctx.mode == ErrorBoundMode.REL:
+            precision = precision_for_relative_bound(ctx.error_bound)
         else:
             # Absolute bounds are translated against the data range so that a
             # tighter bound still yields more retained bits.
             finite_range = float(flat.max() - flat.min()) if flat.size else 1.0
-            relative = error_bound / finite_range if finite_range > 0 else error_bound
+            relative = ctx.error_bound / finite_range if finite_range > 0 else ctx.error_bound
             precision = precision_for_relative_bound(max(relative, 1e-9))
+        ctx.params["precision"] = precision
+        ctx.raw = ctx.size == 0
 
-        if flat.size == 0:
-            sections = {
-                "meta": self._pack_meta(flat.size, precision, original_shape, original_dtype, raw=True),
-                "raw": pack_array(data),
-            }
-            return pack_sections(sections)
-
-        padded, num_blocks = _pad_to_blocks(flat, _BLOCK)
+    def encode(self, flat: np.ndarray, ctx: StageContext) -> Dict[str, bytes]:
+        precision = int(ctx.params["precision"])
+        padded, num_blocks = pad_to_blocks(flat, _BLOCK, fill="zero")
         blocks = padded.reshape(num_blocks, _BLOCK)
 
         # Block-floating-point: express every value as mantissa * 2^emax where
@@ -139,30 +126,20 @@ class ZFPCompressor(LossyCompressor):
         ).astype(np.uint8)
         coefficient_blob = np.packbits(bits.ravel()).tobytes()
 
-        sections = {
-            "meta": self._pack_meta(flat.size, precision, original_shape, original_dtype, raw=False),
+        return {
             "emax": zlib.compress(emax.astype("<i2").tobytes(), self.compression_level),
             "coef": zlib.compress(coefficient_blob, self.compression_level),
         }
-        return pack_sections(sections)
 
-    # ------------------------------------------------------------------
-    # Decompression
-    # ------------------------------------------------------------------
-    def decompress(self, payload: bytes) -> np.ndarray:
-        sections = unpack_sections(payload)
-        meta = self._unpack_meta(sections.get("meta"))
-        if meta["raw"]:
-            return unpack_array(sections["raw"])
-
-        size = meta["size"]
-        precision = meta["precision"]
+    def decode(self, sections: Mapping[str, bytes], ctx: StageContext) -> np.ndarray:
+        size = ctx.size
+        precision = int(ctx.params["precision"])
         num_blocks = -(-size // _BLOCK)
         width = precision + 2
 
         emax = np.frombuffer(zlib.decompress(sections["emax"]), dtype="<i2").astype(np.int32)
         if emax.size != num_blocks:
-            raise CorruptPayloadError("ZFP payload exponent count mismatch")
+            raise CorruptPayloadError("zfp payload exponent count mismatch")
 
         coefficient_blob = zlib.decompress(sections["coef"])
         total_bits = num_blocks * _BLOCK * (width + 1)
@@ -179,57 +156,17 @@ class ZFPCompressor(LossyCompressor):
         scale = np.ldexp(1.0, emax).astype(np.float64)
         blocks = normalized * scale[:, None]
 
-        flat = blocks.ravel()[:size]
-        return flat.astype(meta["dtype"]).reshape(meta["shape"])
-
-    # ------------------------------------------------------------------
-    # Metadata framing
-    # ------------------------------------------------------------------
-    def _pack_meta(
-        self,
-        size: int,
-        precision: int,
-        shape: Tuple[int, ...],
-        dtype: np.dtype,
-        raw: bool,
-    ) -> bytes:
-        dtype_name = np.dtype(dtype).str.encode("ascii")
-        header = _META_STRUCT.pack(_FORMAT_VERSION, size, precision, _BLOCK, 1 if raw else 0)
-        shape_blob = struct.pack("<B", len(shape)) + struct.pack(f"<{len(shape)}q", *shape)
-        return header + struct.pack("<H", len(dtype_name)) + dtype_name + shape_blob
-
-    @staticmethod
-    def _unpack_meta(blob: bytes | None) -> dict:
-        if not blob or len(blob) < _META_STRUCT.size:
-            raise CorruptPayloadError("ZFP payload missing metadata section")
-        version, size, precision, block, raw = _META_STRUCT.unpack_from(blob, 0)
-        if version != _FORMAT_VERSION:
-            raise CorruptPayloadError(f"unsupported ZFP payload version {version}")
-        if block != _BLOCK:
-            raise CorruptPayloadError(f"unexpected ZFP block size {block}")
-        cursor = _META_STRUCT.size
-        (dtype_len,) = struct.unpack_from("<H", blob, cursor)
-        cursor += 2
-        dtype = np.dtype(blob[cursor : cursor + dtype_len].decode("ascii"))
-        cursor += dtype_len
-        (ndim,) = struct.unpack_from("<B", blob, cursor)
-        cursor += 1
-        shape = struct.unpack_from(f"<{ndim}q", blob, cursor) if ndim else ()
-        return {
-            "size": int(size),
-            "precision": int(precision),
-            "raw": bool(raw),
-            "dtype": dtype,
-            "shape": tuple(int(s) for s in shape),
-        }
+        return blocks.ravel()[:size]
 
 
-def _pad_to_blocks(flat: np.ndarray, block: int) -> Tuple[np.ndarray, int]:
-    """Pad a 1-D array with zeros up to a whole number of blocks."""
-    num_blocks = -(-flat.size // block)
-    padded_size = num_blocks * block
-    if padded_size == flat.size:
-        return flat, num_blocks
-    padded = np.zeros(padded_size, dtype=np.float64)
-    padded[: flat.size] = flat
-    return padded, num_blocks
+class ZFPCompressor(StagedCompressor):
+    """Block transform + fixed-precision coefficient coding (ZFP analogue)."""
+
+    name = "zfp"
+    strictly_bounded = False
+
+    def __init__(self, compression_level: int = 6) -> None:
+        self.compression_level = int(compression_level)
+
+    def _predictor(self) -> ZFPPredictor:
+        return ZFPPredictor(self.compression_level)

@@ -13,10 +13,17 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+import hashlib
+
 from repro.compression.base import ErrorBoundMode
 from repro.core.config import FedSZConfig
 from repro.core.pipeline import FedSZReport, compress_state_dict, decompress_state_dict
 from repro.network.decision import CompressionDecision, should_compress
+
+
+def _payload_digest(payload: bytes) -> bytes:
+    """Cheap identity fingerprint for "is this the payload I just produced?"."""
+    return hashlib.blake2b(payload, digest_size=16).digest()
 
 
 class FedSZCompressor:
@@ -42,6 +49,8 @@ class FedSZCompressor:
         lossless_compressor: str = "blosc-lz",
         partition_threshold: int = 1024,
         lossy_options: Optional[Dict[str, object]] = None,
+        parallel_tensors: bool = False,
+        max_codec_workers: Optional[int] = None,
     ) -> None:
         self.config = FedSZConfig(
             error_bound=error_bound,
@@ -50,8 +59,11 @@ class FedSZCompressor:
             lossless_compressor=lossless_compressor,
             partition_threshold=partition_threshold,
             lossy_options=dict(lossy_options or {}),
+            parallel_tensors=parallel_tensors,
+            max_codec_workers=max_codec_workers,
         )
         self.last_report: Optional[FedSZReport] = None
+        self._last_payload_digest: Optional[bytes] = None
 
     @classmethod
     def from_config(cls, config: FedSZConfig) -> "FedSZCompressor":
@@ -59,6 +71,7 @@ class FedSZCompressor:
         instance = cls.__new__(cls)
         instance.config = config
         instance.last_report = None
+        instance._last_payload_digest = None
         return instance
 
     def clone(self) -> "FedSZCompressor":
@@ -78,11 +91,25 @@ class FedSZCompressor:
         """Compress a model state dict into a transmissible byte payload."""
         payload, report = compress_state_dict(state_dict, self.config)
         self.last_report = report
+        self._last_payload_digest = _payload_digest(payload)
         return payload
 
     def decompress(self, payload: bytes) -> Dict[str, np.ndarray]:
-        """Reconstruct a state dict from a FedSZ payload."""
-        return decompress_state_dict(payload)
+        """Reconstruct a state dict from a FedSZ payload.
+
+        Decoding honours the configured per-tensor parallelism.  Measured
+        per-tensor decode times are recorded onto ``last_report`` only when
+        ``payload`` is byte-for-byte the one ``compress`` produced (checked
+        by digest) — decompressing any other payload, even one with the same
+        tensor names, must not mix foreign timings into an unrelated report.
+        """
+        matches = (
+            self.last_report is not None
+            and getattr(self, "_last_payload_digest", None) == _payload_digest(payload)
+        )
+        return decompress_state_dict(
+            payload, self.config, report=self.last_report if matches else None
+        )
 
     # ------------------------------------------------------------------
     # Analysis helpers

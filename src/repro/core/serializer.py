@@ -24,7 +24,16 @@ from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
-from repro.compression.base import pack_array, pack_sections, unpack_array, unpack_sections
+from repro.compression.base import (
+    append_section,
+    append_section_header,
+    begin_sections,
+    pack_array,
+    pack_sections,
+    sections_nbytes,
+    unpack_array,
+    unpack_sections,
+)
 from repro.compression.errors import CorruptPayloadError
 
 _FORMAT_VERSION = 1
@@ -48,16 +57,30 @@ def build_fedsz_payload(
     lossy_payloads: Mapping[str, bytes],
     lossless_blob: bytes,
 ) -> bytes:
-    """Assemble the final FedSZ bitstream."""
+    """Assemble the final FedSZ bitstream.
+
+    Per-tensor lossy payloads stream straight into the output buffer: the
+    nested ``lossy`` section's framed size is computed up front so its entry
+    header can be written first, instead of materialising the whole lossy
+    partition as an intermediate blob and copying it a second time into the
+    outer framing (for a large model that intermediate is most of the
+    bitstream).  The byte layout is unchanged — :func:`parse_fedsz_payload`
+    and generic :func:`unpack_sections` read it as before.
+    """
     header = dict(header)
     header["format_version"] = _FORMAT_VERSION
     header_blob = json.dumps(header, sort_keys=True).encode("utf-8")
-    sections = {
-        _HEADER_KEY: struct.pack("<I", len(header_blob)) + header_blob,
-        _LOSSY_KEY: pack_sections(dict(lossy_payloads)),
-        _LOSSLESS_KEY: lossless_blob,
-    }
-    return pack_sections(sections)
+    lossy_nbytes = sections_nbytes({name: len(blob) for name, blob in lossy_payloads.items()})
+
+    buffer = bytearray()
+    begin_sections(buffer, 3)
+    append_section(buffer, _HEADER_KEY, struct.pack("<I", len(header_blob)) + header_blob)
+    append_section_header(buffer, _LOSSY_KEY, lossy_nbytes)
+    begin_sections(buffer, len(lossy_payloads))
+    for name, blob in lossy_payloads.items():
+        append_section(buffer, name, blob)
+    append_section(buffer, _LOSSLESS_KEY, lossless_blob)
+    return bytes(buffer)
 
 
 def parse_fedsz_payload(payload: bytes) -> Tuple[Dict[str, object], Dict[str, bytes], bytes]:

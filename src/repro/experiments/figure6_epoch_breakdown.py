@@ -5,6 +5,13 @@ validation and FedSZ compression, and reports that compression adds < 12.5 %
 (4.7 % on average) of the epoch time.  The harness reruns the federated
 simulation with FedSZ enabled and reports the measured decomposition per
 model / dataset combination.
+
+The compression component is *measured*, not aggregate: every client's
+:class:`~repro.core.pipeline.FedSZReport` records per-tensor codec wall times
+(``per_tensor_compress_seconds``), and the breakdown sums those maps instead
+of attributing the whole pipeline wall (partitioning, the lossless pass,
+payload framing) to error-bounded compression.  The aggregate pipeline wall
+is still surfaced in the ``pipeline_seconds`` column for comparison.
 """
 
 from __future__ import annotations
@@ -47,13 +54,15 @@ def run_figure6(
             codec=FedSZCompressor(error_bound=error_bound),
         )
         history = simulation.run()
-        breakdown = history.mean_epoch_breakdown()
+        breakdown = history.mean_epoch_breakdown(measured_codec=True)
+        aggregate = history.mean_epoch_breakdown()
         result.add_row(
             model=model,
             dataset=dataset,
             client_training_seconds=breakdown.client_training_seconds,
             validation_seconds=breakdown.validation_seconds,
             compression_seconds=breakdown.compression_seconds,
+            pipeline_seconds=aggregate.compression_seconds,
             total_seconds=breakdown.total_seconds,
             compression_overhead_percent=100.0 * breakdown.compression_overhead_fraction,
         )
@@ -63,6 +72,11 @@ def run_figure6(
         result.add_note(
             f"compression overhead: mean {sum(overheads) / len(overheads):.1f}% of epoch time "
             "(paper: 4.7% average, <12.5% in all but one case)"
+        )
+        result.add_note(
+            "compression_seconds is measured per-tensor codec time (FedSZReport."
+            "per_tensor_compress_seconds); pipeline_seconds is the aggregate "
+            "compress wall including the lossless pass and payload framing"
         )
     return result
 

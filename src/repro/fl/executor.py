@@ -19,9 +19,18 @@ serial executor.
 
 When a codec exposes ``clone()`` (e.g. :class:`repro.core.FedSZCompressor`),
 the parallel executor gives each client its own instance so concurrent
-compressions cannot clobber each other's ``last_report``.  Stateful codecs
-without ``clone()`` (adaptive or DP codecs, whose round counters must stay
-global) are shared behind a lock instead.
+compressions cannot clobber each other's ``last_report``.  Since the codecs
+moved to the stage pipeline (:mod:`repro.compression.stages`) every stage is
+stateless and ``clone()`` is a shallow copy — O(1) regardless of fleet size,
+so per-client cloning costs nothing even for hundreds of participants.
+Stateful codecs without ``clone()`` (adaptive or DP codecs, whose round
+counters must stay global) are shared behind a lock instead.
+
+Per-client concurrency composes with the pipeline's *per-tensor* concurrency
+(``FedSZConfig.parallel_tensors``): the two pools multiply, so when both are
+enabled size them so ``executor workers × codec workers`` stays near the host
+core count — oversubscribing GIL-releasing numpy threads degrades gracefully
+but buys nothing.
 """
 
 from __future__ import annotations

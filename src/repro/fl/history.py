@@ -26,6 +26,13 @@ class ClientRoundStat:
     train_seconds: float
     compress_seconds: float = 0.0
     decompress_seconds: float = 0.0
+    #: Measured *compression* codec-kernel seconds over the lossy partition
+    #: (summed from the codec report's per-tensor map).  Unlike
+    #: ``compress_seconds`` — the full pipeline wall including partitioning,
+    #: the lossless pass and framing — and unlike
+    #: ``TransferStats.codec_seconds`` (compress + decompress wall), this is
+    #: the error-bounded-compression time Figure 6 attributes to FedSZ.
+    measured_codec_seconds: float = 0.0
     transfer_seconds: float = 0.0
     payload_nbytes: int = 0
     compression_ratio: float = 1.0
@@ -72,6 +79,9 @@ class RoundRecord:
     train_seconds: float
     validation_seconds: float
     mean_compression_ratio: float
+    #: Sum of the participants' measured per-tensor codec seconds (0.0 when
+    #: the codec reports no per-tensor timings, e.g. the identity baseline).
+    measured_codec_seconds: float = 0.0
     downlink_bytes: int = 0
     #: Simulated wall-clock of the broadcast phase: the max over the
     #: participants' receive times.  Heterogeneous links are independent and
@@ -156,15 +166,27 @@ class TrainingHistory:
         """Total time spent compressing client updates over the run."""
         return sum(record.compression_seconds for record in self.records)
 
-    def mean_epoch_breakdown(self) -> EpochTimeBreakdown:
-        """Average per-round client time decomposition (Figure 6)."""
+    def mean_epoch_breakdown(self, measured_codec: bool = False) -> EpochTimeBreakdown:
+        """Average per-round client time decomposition (Figure 6).
+
+        With ``measured_codec=True`` the compression component is the codecs'
+        *measured* per-tensor kernel time (``RoundRecord.measured_codec_seconds``,
+        summed from each participant's ``FedSZReport`` maps) instead of the
+        aggregate pipeline wall — falling back to the aggregate when the codec
+        reported no per-tensor timings (e.g. the identity baseline).
+        """
         if not self.records:
             return EpochTimeBreakdown()
         count = len(self.records)
+        compression = sum(r.compression_seconds for r in self.records)
+        if measured_codec:
+            measured = sum(r.measured_codec_seconds for r in self.records)
+            if measured > 0:
+                compression = measured
         return EpochTimeBreakdown(
             client_training_seconds=sum(r.train_seconds for r in self.records) / count,
             validation_seconds=sum(r.validation_seconds for r in self.records) / count,
-            compression_seconds=sum(r.compression_seconds for r in self.records) / count,
+            compression_seconds=compression / count,
             communication_seconds=sum(r.uplink_seconds for r in self.records) / count,
         )
 

@@ -47,6 +47,21 @@ from repro.nn.module import Module
 from repro.utils.seeding import SeedSequenceFactory
 
 
+def _measured_codec_seconds(stats) -> float:
+    """Measured per-tensor codec seconds behind one transfer, if reported.
+
+    FedSZ reports carry a per-tensor compress-time map (the codec-kernel wall,
+    as opposed to the whole-pipeline ``compress_seconds``); codecs without one
+    (identity baseline, custom codecs) contribute 0.0 and downstream consumers
+    fall back to the aggregate timing.
+    """
+    report = getattr(stats, "report", None)
+    per_tensor = getattr(report, "per_tensor_compress_seconds", None)
+    if not per_tensor:
+        return 0.0
+    return float(sum(per_tensor.values()))
+
+
 @dataclass
 class DownlinkStats:
     """Accounting for one round's broadcast phase.
@@ -216,6 +231,7 @@ class FederatedRuntime:
                 train_seconds=result.update.train_seconds,
                 compress_seconds=result.stats.compress_seconds,
                 decompress_seconds=result.stats.decompress_seconds,
+                measured_codec_seconds=_measured_codec_seconds(result.stats),
                 transfer_seconds=result.stats.transfer_seconds,
                 payload_nbytes=result.stats.payload_nbytes,
                 compression_ratio=result.stats.ratio,
@@ -248,6 +264,9 @@ class FederatedRuntime:
             uplink_seconds=float(sum(result.stats.transfer_seconds for result in results)),
             compression_seconds=float(sum(r.stats.compress_seconds for r in results)),
             decompression_seconds=float(sum(r.stats.decompress_seconds for r in results)),
+            measured_codec_seconds=float(
+                sum(_measured_codec_seconds(r.stats) for r in results)
+            ),
             train_seconds=float(sum(r.update.train_seconds for r in results)),
             validation_seconds=evaluation.seconds,
             mean_compression_ratio=float(np.mean(ratios)) if ratios else 1.0,

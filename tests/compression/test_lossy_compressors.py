@@ -108,9 +108,15 @@ def test_non_float_input_rejected(compressor):
         compressor.compress(np.arange(10, dtype=np.int32), 1e-2)
 
 
-def test_nan_input_rejected(compressor):
-    data = np.array([0.0, np.nan, 1.0], dtype=np.float32)
-    with pytest.raises(UnsupportedDataError):
+@pytest.mark.parametrize(
+    "bad_value", [np.nan, np.inf, -np.inf], ids=["nan", "+inf", "-inf"]
+)
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["float32", "float64"])
+def test_non_finite_input_rejected_uniformly(compressor, bad_value, dtype):
+    """All four codecs share one non-finite policy (validate_lossy_input):
+    NaN/+Inf/-Inf raise UnsupportedDataError, naming the offending codec."""
+    data = np.array([0.0, bad_value, 1.0], dtype=dtype)
+    with pytest.raises(UnsupportedDataError, match=compressor.name):
         compressor.compress(data, 1e-2)
 
 
