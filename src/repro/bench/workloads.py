@@ -17,6 +17,9 @@ layers of the repo:
 * a fleet-scale round (``fl_fleet``) — 256 lazy clients, 5% sampled per
   round, heterogeneous edge links, bounded model pool — proving the
   O(max_workers) memory path stays fast;
+* crash-safe checkpointing (``checkpoint``) — RunCheckpoint snapshot and
+  restore cost for a tiny trained runtime and a paper-scale model, keeping
+  the resume subsystem's overhead visible as models grow;
 * a fast composite (``tiny``) sized for CI smoke runs.
 
 Register new workloads with :func:`register_workload`; the CLI exposes them
@@ -423,6 +426,94 @@ def _run_fleet_round(
     serial_record.extra["resident_models"] = serial_runtime.model_pool.created
 
 
+def _measure_checkpoint(
+    harness: BenchHarness,
+    metric: str,
+    model_name: str,
+    variant: str,
+    train_round: bool,
+) -> None:
+    """Snapshot + restore cost of the crash-safe checkpoint subsystem.
+
+    Builds a small federated runtime around the given model, optionally runs
+    one real round (so the snapshot carries materialised clients, advanced RNG
+    streams and history — the paths a mid-run checkpoint exercises), then
+    times ``capture+atomic write`` and ``load+restore`` separately.  Paper-
+    scale models skip the training round: their snapshot cost is dominated by
+    model-state serialization, which is exactly the "overhead vs model size"
+    axis this workload tracks.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.data import load_dataset
+    from repro.fl import FederatedRuntime, FLConfig
+    from repro.fl.checkpoint import (
+        capture_runtime,
+        latest_checkpoint,
+        load_checkpoint,
+        restore_runtime,
+        write_checkpoint,
+    )
+    from repro.nn.models import create_model
+
+    full = load_dataset("cifar10", num_samples=160, image_size=8, seed=0)
+    train, validation = full.split(0.75, seed=1)
+
+    def model_fn():
+        return create_model(model_name, variant, num_classes=10, seed=0)
+
+    def build():
+        return FederatedRuntime(
+            model_fn,
+            train,
+            validation,
+            FLConfig(num_clients=4, rounds=1, batch_size=16, local_epochs=1, seed=7),
+        )
+
+    runtime = build()
+    if train_round:
+        runtime.run_round()
+    snapshot = capture_runtime(runtime)
+    model_nbytes = _state_dict_nbytes(snapshot.model_state)
+
+    with tempfile.TemporaryDirectory(prefix="bench-checkpoint-") as tmp:
+        directory = Path(tmp)
+
+        def run_snapshot(timer):
+            with timer.measure("capture"):
+                checkpoint = capture_runtime(runtime)
+            with timer.measure("write"):
+                write_checkpoint(checkpoint, directory, keep_last=2)
+
+        harness.measure(
+            f"{metric}_snapshot",
+            run_snapshot,
+            nbytes=model_nbytes,
+            extra={"model": f"{model_name}-{variant}"},
+        )
+
+        path = latest_checkpoint(directory)
+        checkpoint_nbytes = path.stat().st_size
+        restore_target = build()
+
+        def run_restore(timer):
+            with timer.measure("load"):
+                loaded = load_checkpoint(path)
+            with timer.measure("restore"):
+                restore_runtime(restore_target, loaded)
+
+        harness.measure(
+            f"{metric}_restore",
+            run_restore,
+            nbytes=model_nbytes,
+            extra={
+                "model": f"{model_name}-{variant}",
+                "checkpoint_bytes": checkpoint_nbytes,
+            },
+        )
+
+
 # ----------------------------------------------------------------------
 # Workloads
 # ----------------------------------------------------------------------
@@ -455,6 +546,20 @@ def _workload_fl_round(harness: BenchHarness) -> None:
 def _workload_fl_fleet(harness: BenchHarness) -> None:
     _run_fleet_round(
         harness, "fl_fleet", clients=256, client_fraction=0.05, samples=640
+    )
+
+
+@register_workload(
+    "checkpoint",
+    "RunCheckpoint snapshot + restore overhead vs model size (tiny and paper-scale)",
+)
+def _workload_checkpoint(harness: BenchHarness) -> None:
+    # Tiny model with one real round behind it: covers client/RNG/history
+    # capture.  Paper-scale mobilenetv2 without training: isolates the
+    # model-serialization cost that grows with model size.
+    _measure_checkpoint(harness, "checkpoint_tiny", "alexnet", "tiny", train_round=True)
+    _measure_checkpoint(
+        harness, "checkpoint_paper", "mobilenetv2", "paper", train_round=False
     )
 
 

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli fl --scenario uniform-edge --clients 256 \
         --client-fraction 0.05 --executor parallel --workers 4
     python -m repro.cli fl --parallel-tensors --codec-workers 4
+    python -m repro.cli fl --scenario unreliable-server --checkpoint-dir ckpts
+    python -m repro.cli fl --scenario unreliable-server --checkpoint-dir ckpts --resume
     python -m repro.cli bench list
     python -m repro.cli bench --workload tiny --out BENCH_tiny.json
     python -m repro.cli bench compare benchmarks/baselines/tiny.json BENCH_tiny.json
@@ -106,6 +108,9 @@ def run_fl(
     parallel_tensors: bool = False,
     codec_workers: Optional[int] = None,
     seed: int = 0,
+    checkpoint_dir: Optional[Path] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ):
     """Run one federated simulation through the layered runtime.
 
@@ -116,7 +121,11 @@ def run_fl(
     ``client_fraction`` unless overridden on the command line) — the
     ``--scheduler`` / ``--heterogeneous`` / straggler flags are then ignored.
     Without a scenario, ``rounds`` and ``clients`` default to 3 and 4.
-    Returns the :class:`~repro.fl.TrainingHistory`; the CLI prints its rows.
+    ``checkpoint_dir`` makes the run crash-safe (a snapshot is written after
+    every ``checkpoint_every``-th round); ``resume=True`` restores the latest
+    snapshot from that directory before running, completing an interrupted
+    run bit-identically.  Returns the :class:`~repro.fl.TrainingHistory`; the
+    CLI prints its rows.
     """
     from repro.core import FedSZCompressor
     from repro.experiments.workloads import build_federated_setup
@@ -177,6 +186,18 @@ def run_fl(
         )
     )
 
+    run_kwargs = {}
+    if checkpoint_dir is not None:
+        run_kwargs.update(checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every)
+    elif checkpoint_every != 1:
+        # Silently ignoring the cadence would let the user believe the run is
+        # crash-safe when nothing is being written.
+        raise ValueError("--checkpoint-every requires --checkpoint-dir")
+    if resume:
+        if checkpoint_dir is None:
+            raise ValueError("--resume requires --checkpoint-dir")
+        run_kwargs["resume"] = True
+
     if preset is not None:
         runtime = build_fleet_runtime(
             preset,
@@ -196,7 +217,7 @@ def run_fl(
             bandwidth_mbps=setup.config.bandwidth_mbps,
             eval_batch_size=setup.config.eval_batch_size,
         )
-        return runtime.run()
+        return runtime.run(**run_kwargs)
 
     scheduler_kwargs = {}
     canonical = canonical_scheduler_name(scheduler)
@@ -229,7 +250,7 @@ def run_fl(
         executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
         transport=transport,
     )
-    return simulation.run()
+    return simulation.run(**run_kwargs)
 
 
 def _run_fl_from_args(arguments) -> "object":
@@ -254,6 +275,9 @@ def _run_fl_from_args(arguments) -> "object":
         parallel_tensors=arguments.parallel_tensors,
         codec_workers=arguments.codec_workers,
         seed=arguments.seed,
+        checkpoint_dir=arguments.checkpoint_dir,
+        checkpoint_every=arguments.checkpoint_every,
+        resume=arguments.resume,
     )
 
 
@@ -345,6 +369,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="thread-pool width for per-tensor codec work "
                                 "(implies --parallel-tensors; default: cpu count)")
     fl_parser.add_argument("--seed", type=int, default=0)
+    fl_parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                           help="write a crash-safe run snapshot here after "
+                                "every --checkpoint-every rounds (atomic, "
+                                "schema-versioned, last 3 kept)")
+    fl_parser.add_argument("--checkpoint-every", type=int, default=1,
+                           help="rounds between snapshots (default 1)")
+    fl_parser.add_argument("--resume", action="store_true",
+                           help="restore the latest snapshot from "
+                                "--checkpoint-dir before running and complete "
+                                "the interrupted run bit-identically")
     fl_parser.add_argument("--per-client", action="store_true",
                            help="also print per-client round stats")
 
@@ -450,9 +484,27 @@ def main(argv: Optional[list] = None) -> int:
         return _run_bench(arguments)
 
     if arguments.command == "fl":
+        from repro.fl.checkpoint import CheckpointError
+        from repro.fl.scenarios import SimulatedCrash
+
         try:
             history = _run_fl_from_args(arguments)
-        except ValueError as error:
+        except SimulatedCrash as crash:
+            print(crash, file=sys.stderr)
+            if arguments.checkpoint_dir is not None:
+                print(
+                    f"re-run with --checkpoint-dir {arguments.checkpoint_dir} "
+                    "--resume to finish the remaining rounds",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "the run was not checkpointed (no --checkpoint-dir); its "
+                    "progress is lost",
+                    file=sys.stderr,
+                )
+            return 3
+        except (CheckpointError, ValueError) as error:
             print(error, file=sys.stderr)
             return 2
         _print_fl_history(history, per_client=arguments.per_client)

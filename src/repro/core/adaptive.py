@@ -123,6 +123,36 @@ class AdaptiveErrorBoundController:
             for adjustment in self.adjustments
         ]
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the controller's evolving state.
+
+        Captures everything :meth:`observe` mutates — the current bound, the
+        best accuracy, the relax-patience counter and the full adjustment log
+        — so a resumed run continues the feedback loop exactly where the
+        crashed one left it.  The static policy parameters (factors, bounds,
+        patience) belong to the constructor and are *not* restored.
+        """
+        from dataclasses import asdict
+
+        return {
+            "current_bound": self.current_bound,
+            "best_accuracy": self.best_accuracy,
+            "rounds_since_change": self._rounds_since_change,
+            "adjustments": [asdict(adjustment) for adjustment in self.adjustments],
+        }
+
+    def restore_checkpoint_state(self, state: Mapping[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self.current_bound = float(state["current_bound"])
+        self.best_accuracy = float(state["best_accuracy"])
+        self._rounds_since_change = int(state["rounds_since_change"])
+        self.adjustments = [
+            BoundAdjustment(**adjustment) for adjustment in state["adjustments"]
+        ]
+
 
 class AdaptiveFedSZCompressor:
     """FedSZ codec whose error bound follows an adaptive controller.
@@ -174,6 +204,39 @@ class AdaptiveFedSZCompressor:
         if adjustment.new_bound != adjustment.previous_bound:
             self._codec = self._build_codec()
         return adjustment
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def checkpoint_fingerprint(self) -> Dict[str, object]:
+        """Static identity for resume validation: the codec settings and the
+        controller's policy parameters (its *evolving* state travels separately
+        via :meth:`checkpoint_state`)."""
+        return {
+            "lossy_compressor": self._lossy_compressor,
+            "lossless_compressor": self._lossless_compressor,
+            "partition_threshold": self._partition_threshold,
+            "initial_bound": self.controller.initial_bound,
+            "min_bound": self.controller.min_bound,
+            "max_bound": self.controller.max_bound,
+            "tolerance": self.controller.tolerance,
+            "backoff_factor": self.controller.backoff_factor,
+            "growth_factor": self.controller.growth_factor,
+            "patience": self.controller.patience,
+        }
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Controller state for a run checkpoint (see :mod:`repro.fl.checkpoint`)."""
+        return {"kind": "adaptive-fedsz", "controller": self.controller.checkpoint_state()}
+
+    def restore_checkpoint_state(self, state: Mapping[str, object]) -> None:
+        """Restore controller state and re-target the codec at the saved bound."""
+        if state.get("kind") != "adaptive-fedsz":
+            raise ValueError(
+                f"checkpoint codec state is {state.get('kind')!r}, not 'adaptive-fedsz'"
+            )
+        self.controller.restore_checkpoint_state(state["controller"])
+        self._codec = self._build_codec()
 
     def compress(self, state_dict: Mapping[str, np.ndarray]) -> bytes:
         """Compress a state dict at the controller's current bound."""

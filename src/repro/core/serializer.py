@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Dict, Mapping, Tuple
 
 import numpy as np
@@ -40,6 +41,40 @@ _FORMAT_VERSION = 1
 _HEADER_KEY = "header"
 _LOSSY_KEY = "lossy"
 _LOSSLESS_KEY = "lossless"
+
+
+def frame_checksummed(magic: bytes, payload: bytes) -> bytes:
+    """Wrap ``payload`` in a 4-byte magic + CRC32 frame.
+
+    Durable on-disk artefacts (run checkpoints) use this so that torn writes
+    and bit rot are detected deterministically on load instead of surfacing as
+    arbitrary parse errors deeper in the section framing.
+    """
+    if len(magic) != 4:
+        raise ValueError(f"magic must be exactly 4 bytes, got {len(magic)}")
+    return magic + struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def unframe_checksummed(magic: bytes, blob: bytes) -> bytes:
+    """Inverse of :func:`frame_checksummed`; raises :class:`CorruptPayloadError`
+    on a foreign magic, a truncated frame, or a checksum mismatch."""
+    if len(magic) != 4:
+        raise ValueError(f"magic must be exactly 4 bytes, got {len(magic)}")
+    if len(blob) < 8:
+        raise CorruptPayloadError("frame too short to hold magic and checksum")
+    if blob[:4] != magic:
+        raise CorruptPayloadError(
+            f"bad frame magic {blob[:4]!r} (expected {magic!r})"
+        )
+    (expected,) = struct.unpack_from("<I", blob, 4)
+    payload = blob[8:]
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual != expected:
+        raise CorruptPayloadError(
+            f"frame checksum mismatch (stored {expected:#010x}, computed "
+            f"{actual:#010x}); the file is truncated or corrupt"
+        )
+    return payload
 
 
 def serialize_named_arrays(arrays: Mapping[str, np.ndarray]) -> bytes:

@@ -22,6 +22,18 @@ the global model, and every client update is routed through a pluggable codec
 """
 
 from repro.fl.aggregation import fedavg, mix_states, state_dict_difference
+from repro.fl.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    capture_runtime,
+    fired_crash_rounds,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    record_crash_marker,
+    restore_runtime,
+    write_checkpoint,
+)
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
 from repro.fl.executor import (
@@ -34,10 +46,13 @@ from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
 from repro.fl.runtime import DownlinkStats, FederatedRuntime, RoundContext
 from repro.fl.scenarios import (
     DiurnalSchedule,
+    FaultInjector,
     FlashCrowdSchedule,
     FleetScenario,
     FullParticipation,
     ParticipationSchedule,
+    ServerCrashSchedule,
+    SimulatedCrash,
     available_scenarios,
     build_fleet_runtime,
     build_schedule,
@@ -80,6 +95,19 @@ __all__ = [
     "DownlinkStats",
     "ClientRegistry",
     "ModelPool",
+    "CheckpointError",
+    "RunCheckpoint",
+    "capture_runtime",
+    "restore_runtime",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "record_crash_marker",
+    "fired_crash_rounds",
+    "FaultInjector",
+    "ServerCrashSchedule",
+    "SimulatedCrash",
     "ParticipationSchedule",
     "FullParticipation",
     "DiurnalSchedule",

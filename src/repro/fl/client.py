@@ -167,6 +167,43 @@ class FLClient:
             train_seconds=elapsed,
         )
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Snapshot this client's advancing streams for a run checkpoint.
+
+        Two streams move during training and must survive a crash for resume
+        to be bit-identical: the mini-batch shuffle generator (advances once
+        per epoch) and the model's stochastic-layer streams (Dropout; held in
+        ``_stochastic_states`` for pooled clients, inside the private model
+        otherwise).  Parameters are *not* captured here — the broadcast state
+        overwrites them wholesale at the start of every round.
+        """
+        if self._pool is not None:
+            stochastic = (
+                list(self._stochastic_states)
+                if self._stochastic_states is not None
+                else None
+            )
+        elif self._own_model is not None:
+            stochastic = capture_stochastic_state(self._own_model)
+        else:
+            stochastic = None
+        return {
+            "loader_rng": self.loader._rng.bit_generator.state,
+            "stochastic": stochastic,
+        }
+
+    def restore_checkpoint_state(self, state: Mapping) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self.loader._rng.bit_generator.state = state["loader_rng"]
+        stochastic = state.get("stochastic")
+        if self._pool is not None:
+            self._stochastic_states = list(stochastic) if stochastic is not None else None
+        elif stochastic is not None:
+            restore_stochastic_state(self.model, stochastic)
+
     def evaluate(self, state_dict: Mapping[str, np.ndarray]) -> Dict[str, float]:
         """Evaluate a state dict on this client's local data (no training)."""
         with self._borrow_model() as model:

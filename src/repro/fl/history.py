@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
 from repro.network.timing import EpochTimeBreakdown
@@ -139,16 +139,21 @@ class TrainingHistory:
 
     @property
     def final_accuracy(self) -> float:
-        """Validation accuracy after the last round (0.0 before any round)."""
+        """Validation accuracy after the last round.
+
+        ``float("nan")`` before any round has run: an empty history must not
+        masquerade as a genuinely 0-accuracy run (NaN propagates through
+        comparisons and shows up in reports instead of silently ranking last).
+        """
         if not self.records:
-            return 0.0
+            return float("nan")
         return self.records[-1].global_accuracy
 
     @property
     def best_accuracy(self) -> float:
-        """Best validation accuracy across rounds."""
+        """Best validation accuracy across rounds (NaN for an empty history)."""
         if not self.records:
-            return 0.0
+            return float("nan")
         return max(record.global_accuracy for record in self.records)
 
     @property
@@ -172,17 +177,22 @@ class TrainingHistory:
         With ``measured_codec=True`` the compression component is the codecs'
         *measured* per-tensor kernel time (``RoundRecord.measured_codec_seconds``,
         summed from each participant's ``FedSZReport`` maps) instead of the
-        aggregate pipeline wall — falling back to the aggregate when the codec
-        reported no per-tensor timings (e.g. the identity baseline).
+        aggregate pipeline wall.  The fallback to the aggregate is **per
+        round**: a round whose codec reported no per-tensor timings (e.g. the
+        identity baseline, or a codec swapped mid-run) contributes its
+        pipeline wall rather than zero, so mixed runs never silently blend
+        "measured" semantics with missing data.
         """
         if not self.records:
             return EpochTimeBreakdown()
         count = len(self.records)
-        compression = sum(r.compression_seconds for r in self.records)
         if measured_codec:
-            measured = sum(r.measured_codec_seconds for r in self.records)
-            if measured > 0:
-                compression = measured
+            compression = sum(
+                r.measured_codec_seconds if r.measured_codec_seconds > 0 else r.compression_seconds
+                for r in self.records
+            )
+        else:
+            compression = sum(r.compression_seconds for r in self.records)
         return EpochTimeBreakdown(
             client_training_seconds=sum(r.train_seconds for r in self.records) / count,
             validation_seconds=sum(r.validation_seconds for r in self.records) / count,
@@ -208,6 +218,80 @@ class TrainingHistory:
     def as_rows(self) -> List[Dict[str, float]]:
         """Round records as flat dictionaries."""
         return [record.as_row() for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Full-fidelity (de)serialization — used by fl.checkpoint
+    # ------------------------------------------------------------------
+    def serialize(self) -> List[Dict]:
+        """Every record (including per-client stats) as plain nested dicts.
+
+        The output is JSON-compatible and lossless: Python floats round-trip
+        exactly through their repr, so a deserialized history is field-for-field
+        identical to the original.
+        """
+        return [asdict(record) for record in self.records]
+
+    @classmethod
+    def deserialize(cls, rows: List[Dict]) -> "TrainingHistory":
+        """Inverse of :meth:`serialize`."""
+        history = cls()
+        for row in rows:
+            row = dict(row)
+            row["client_stats"] = [
+                ClientRoundStat(**stat) for stat in row.get("client_stats", [])
+            ]
+            history.add(RoundRecord(**row))
+        return history
+
+    def deterministic_rows(self) -> List[Dict]:
+        """The simulation-determined fields of every record.
+
+        Everything a seeded run reproduces exactly regardless of host speed or
+        executor choice: accuracies, losses, byte counts, modelled link times
+        and participation flags.  Host-measured wall-clock fields
+        (``train_seconds``, ``compress_seconds``, turnarounds and the round
+        times derived from them) are excluded — two runs of the same seed
+        differ there by scheduling noise.  The kill-and-resume integration
+        test compares these rows bit-for-bit against an uninterrupted run.
+        """
+        rows: List[Dict] = []
+        for record in self.records:
+            rows.append(
+                {
+                    "round": record.round_index,
+                    "global_accuracy": record.global_accuracy,
+                    "global_loss": record.global_loss,
+                    "mean_client_loss": record.mean_client_loss,
+                    "mean_client_accuracy": record.mean_client_accuracy,
+                    "uplink_bytes": record.uplink_bytes,
+                    "uplink_seconds": record.uplink_seconds,
+                    "downlink_bytes": record.downlink_bytes,
+                    "downlink_seconds": record.downlink_seconds,
+                    "downlink_aggregate_seconds": record.downlink_aggregate_seconds,
+                    "mean_compression_ratio": record.mean_compression_ratio,
+                    "participating_clients": record.participating_clients,
+                    "dropped_clients": record.dropped_clients,
+                    "straggler_clients": record.straggler_clients,
+                    "clients": [
+                        {
+                            "client_id": stat.client_id,
+                            "num_samples": stat.num_samples,
+                            "train_loss": stat.train_loss,
+                            "train_accuracy": stat.train_accuracy,
+                            "payload_nbytes": stat.payload_nbytes,
+                            "compression_ratio": stat.compression_ratio,
+                            "transfer_seconds": stat.transfer_seconds,
+                            "downlink_seconds": stat.downlink_seconds,
+                            "delivered": stat.delivered,
+                            "aggregated": stat.aggregated,
+                            "staleness": stat.staleness,
+                            "weight": stat.weight,
+                        }
+                        for stat in record.client_stats
+                    ],
+                }
+            )
+        return rows
 
     def client_rows(self) -> List[Dict[str, float]]:
         """Per-client per-round stats flattened for tabulation."""

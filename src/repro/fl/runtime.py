@@ -29,6 +29,7 @@ reproduces the seed ``FLSimulation`` numbers exactly;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -118,6 +119,7 @@ class FederatedRuntime:
         executor=None,
         transport: Optional[Transport] = None,
         schedule=None,
+        fault_injector=None,
     ) -> None:
         self.config = config or FLConfig()
         self.codec = codec
@@ -125,6 +127,10 @@ class FederatedRuntime:
         self.executor = executor or SerialExecutor()
         #: Optional per-round availability mask (see :mod:`repro.fl.scenarios`).
         self.schedule = schedule
+        #: Optional per-round failure hook (see
+        #: :class:`repro.fl.scenarios.FaultInjector`); consulted by :meth:`run`
+        #: after each round's checkpoint is persisted.
+        self.fault_injector = fault_injector
 
         # Seed-derivation order matches the seed FLSimulation exactly
         # (partition, clients, sampling) so default runs are bit-compatible;
@@ -164,10 +170,98 @@ class FederatedRuntime:
     # ------------------------------------------------------------------
     # Round loop
     # ------------------------------------------------------------------
-    def run(self, rounds: Optional[int] = None) -> TrainingHistory:
-        """Run ``rounds`` communication rounds (defaults to the configured count)."""
-        for _ in range(rounds if rounds is not None else self.config.rounds):
+    def run(
+        self,
+        rounds: Optional[int] = None,
+        *,
+        checkpoint_dir: Optional[Path | str] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        keep_checkpoints: int = 3,
+        fault_injector=None,
+    ) -> TrainingHistory:
+        """Run communication rounds, optionally crash-safe.
+
+        Without checkpoint arguments this behaves as it always has: ``rounds``
+        more rounds are executed (defaulting to the configured count).
+
+        With ``checkpoint_dir`` set, a :class:`~repro.fl.checkpoint.RunCheckpoint`
+        is written atomically after every ``checkpoint_every``-th round (and
+        always after the final one), keeping the newest ``keep_checkpoints``
+        snapshots.  With ``resume=True`` the latest snapshot in
+        ``checkpoint_dir`` is restored first — the runtime must have been
+        constructed with the same configuration, scheduler, schedule and
+        transport as the crashed run — and ``rounds`` becomes the *absolute*
+        round target for the whole run (again defaulting to the configured
+        count), so the call executes only the rounds the crash swallowed.
+        Resume is bit-identical: final weights and all simulation-determined
+        history fields match an uninterrupted run exactly.  When no snapshot
+        exists yet, ``resume=True`` simply starts from round zero — the flag
+        is safe to pass unconditionally on every (re)launch.
+
+        ``fault_injector`` (defaulting to the one the runtime was constructed
+        with, e.g. a :class:`~repro.fl.scenarios.ServerCrashSchedule`) is
+        consulted *after* each round's checkpoint is persisted — the
+        worst-case crash point — and may raise to kill the run.
+        """
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be at least 1, got {checkpoint_every}")
+        injector = fault_injector if fault_injector is not None else self.fault_injector
+        directory = Path(checkpoint_dir) if checkpoint_dir is not None else None
+
+        if resume:
+            from repro.fl.checkpoint import (
+                fired_crash_rounds,
+                latest_checkpoint,
+                load_checkpoint,
+                restore_runtime,
+            )
+
+            if directory is None:
+                raise ValueError("resume=True requires checkpoint_dir")
+            latest = latest_checkpoint(directory)
+            if latest is not None:
+                restore_runtime(self, load_checkpoint(latest))
+            # One-shot fault schedules must not re-fire for crashes that
+            # already happened: a crash round that fell between sparse
+            # checkpoints — or before the very first checkpoint, in which
+            # case there is no snapshot at all — is re-executed on resume and
+            # would otherwise be re-crashed by every resume attempt.  The
+            # durable markers say exactly which crashes fired.
+            on_resume = getattr(injector, "on_resume", None)
+            if callable(on_resume):
+                on_resume(len(self.history), fired_crash_rounds(directory))
+            target = rounds if rounds is not None else self.config.rounds
+        else:
+            target = len(self.history) + (
+                rounds if rounds is not None else self.config.rounds
+            )
+
+        while len(self.history) < target:
             self.run_round()
+            completed = len(self.history)
+            if directory is not None and (
+                completed % checkpoint_every == 0 or completed >= target
+            ):
+                from repro.fl.checkpoint import capture_runtime, write_checkpoint
+
+                write_checkpoint(
+                    capture_runtime(self), directory, keep_last=keep_checkpoints
+                )
+            if injector is not None:
+                try:
+                    injector.after_round(completed - 1)
+                except BaseException as fault:
+                    # Leave a durable trace of the simulated failure so a
+                    # resumed process knows this one-shot event already fired
+                    # (real crashes need no such bookkeeping — only simulated
+                    # ones are re-executable).
+                    round_index = getattr(fault, "round_index", None)
+                    if directory is not None and round_index is not None:
+                        from repro.fl.checkpoint import record_crash_marker
+
+                        record_crash_marker(directory, round_index)
+                    raise
         return self.history
 
     def run_round(self) -> RoundRecord:
@@ -260,7 +354,14 @@ class FederatedRuntime:
                 if results
                 else 0.0
             ),
-            uplink_bytes=sum(result.stats.payload_nbytes for result in results),
+            # Only delivered updates contribute uplink bytes: a payload lost in
+            # transit never reached the server, so counting it would overstate
+            # the ingress the run actually paid for.  Transfer *time* still
+            # sums over every attempt — the link was occupied (and synchronous
+            # servers wait out the window) whether or not the bytes arrived.
+            uplink_bytes=sum(
+                result.stats.payload_nbytes for result in results if result.delivered
+            ),
             uplink_seconds=float(sum(result.stats.transfer_seconds for result in results)),
             compression_seconds=float(sum(r.stats.compress_seconds for r in results)),
             decompression_seconds=float(sum(r.stats.decompress_seconds for r in results)),

@@ -25,6 +25,10 @@ Presets (``available_scenarios()``):
 * ``flash-crowd`` — a stable core fleet plus a crowd block that joins at
   ``join_round`` and leaves at ``leave_round``; asynchronous
   staleness-weighted mixing absorbs the burst.
+* ``unreliable-server`` — a small edge fleet whose server *crashes* after
+  round 2 (:class:`ServerCrashSchedule` raising :class:`SimulatedCrash`), the
+  canonical workload for the checkpoint/resume subsystem
+  (:mod:`repro.fl.checkpoint`).
 
 Use :func:`get_scenario` / :func:`build_fleet_runtime`, or the CLI's
 ``fl --scenario`` flag.
@@ -59,6 +63,16 @@ class ParticipationSchedule:
     def mask(self, round_index: int, num_clients: int) -> np.ndarray:
         """Boolean availability mask of shape ``(num_clients,)``."""
         raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """JSON-compatible fingerprint of this schedule's configuration.
+
+        Masks are pure functions of ``(round_index, num_clients)`` plus the
+        schedule's own seeded parameters, so nothing needs *restoring* on
+        resume — but a checkpoint records the fingerprint and resume refuses a
+        schedule that would reshape the fleet's availability mid-run.
+        """
+        return {"name": self.name}
 
 
 class FullParticipation(ParticipationSchedule):
@@ -119,6 +133,16 @@ class DiurnalSchedule(ParticipationSchedule):
         rng = np.random.default_rng((self._seed, round_index))
         return rng.random(num_clients) < self.availability(round_index)
 
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "period_rounds": self.period_rounds,
+            "min_availability": self.min_availability,
+            "max_availability": self.max_availability,
+            "phase": self.phase,
+            "seed": self._seed,
+        }
+
 
 class FlashCrowdSchedule(ParticipationSchedule):
     """A stable core plus a crowd that joins and leaves in a burst.
@@ -159,6 +183,88 @@ class FlashCrowdSchedule(ParticipationSchedule):
             mask[start:] = True
         return mask
 
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "join_round": self.join_round,
+            "leave_round": self.leave_round,
+            "crowd_fraction": self.crowd_fraction,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class SimulatedCrash(RuntimeError):
+    """Raised by a fault injector to simulate the server process dying.
+
+    Carries the index of the last completed round so harnesses (and the CLI)
+    can report where the run stopped.  A crash-safe run recovers by
+    reconstructing the runtime and calling ``run(..., resume=True)`` with the
+    same checkpoint directory — see :mod:`repro.fl.checkpoint`.
+    """
+
+    def __init__(self, round_index: int) -> None:
+        super().__init__(
+            f"simulated server crash after round {round_index}; resume from the "
+            "latest checkpoint to continue the run"
+        )
+        self.round_index = int(round_index)
+
+
+class FaultInjector:
+    """Per-round failure hook consulted by ``FederatedRuntime.run``.
+
+    ``after_round(i)`` is called once round ``i`` has completed **and** any
+    due checkpoint has been persisted — the worst-case crash point for a
+    crash-safe runtime (everything in memory is lost, everything on disk must
+    suffice).  Implementations raise (typically :class:`SimulatedCrash`) to
+    kill the run.  ``on_resume(r, fired_rounds)`` is called when a run
+    restores a snapshot taken after ``r`` completed rounds; ``fired_rounds``
+    are the round indices whose simulated crash already fired in an earlier
+    process (recorded as durable markers next to the snapshots), so schedules
+    can model one-shot failures that do not re-fire in the resumed process.
+    """
+
+    def after_round(self, round_index: int) -> None:
+        """Called after round ``round_index`` completed; raise to inject a fault."""
+
+    def on_resume(self, rounds_completed: int, fired_rounds=()) -> None:
+        """Called after a snapshot restore, before any round executes."""
+
+
+class ServerCrashSchedule(FaultInjector):
+    """Deterministically crash the server after the given rounds — once each.
+
+    ``ServerCrashSchedule(2)`` kills the run the first time round 2 completes
+    (after any due checkpoint was persisted).  Each listed round models a
+    *one-shot* failure event, so each kills exactly one process: the runtime
+    records every fired crash as a durable marker beside the snapshots
+    (:func:`repro.fl.checkpoint.record_crash_marker`) and feeds the markers
+    back through :meth:`on_resume`, so a crash round that fell between sparse
+    checkpoints — and is therefore *re-executed* by the resumed process — is
+    not re-crashed (which would livelock every resume attempt), while a
+    listed round the dead process never reached still fires.  Multiple
+    indices model repeated failures across successive process generations.
+    """
+
+    def __init__(self, *crash_after_rounds: int) -> None:
+        if not crash_after_rounds:
+            raise ValueError("ServerCrashSchedule needs at least one round index")
+        rounds = sorted(int(r) for r in crash_after_rounds)
+        if rounds[0] < 0:
+            raise ValueError(f"crash rounds must be non-negative, got {rounds}")
+        self.crash_after_rounds = tuple(rounds)
+        self._fired: set = set()
+
+    def on_resume(self, rounds_completed: int, fired_rounds=()) -> None:
+        self._fired.update(int(index) for index in fired_rounds)
+
+    def after_round(self, round_index: int) -> None:
+        if round_index in self.crash_after_rounds and round_index not in self._fired:
+            self._fired.add(round_index)
+            raise SimulatedCrash(round_index)
+
 
 # ----------------------------------------------------------------------
 # Scenario presets
@@ -187,6 +293,9 @@ class FleetScenario:
     dropout_probability: float = 0.0
     schedule_name: str = "full"
     schedule_kwargs: Dict[str, float] = field(default_factory=dict)
+    #: Rounds after which the (simulated) server crashes — resumability
+    #: scenarios set this so kill-and-resume is a first-class tested workload.
+    crash_after_rounds: Tuple[int, ...] = ()
 
     def with_overrides(self, **overrides) -> "FleetScenario":
         """A copy of this preset with the given fields replaced."""
@@ -217,6 +326,12 @@ class FleetScenario:
         scheduler = get_scheduler(self.scheduler_name, **dict(self.scheduler_kwargs))
         schedule = build_schedule(self.schedule_name, seed=seed, **dict(self.schedule_kwargs))
         return config, transport, scheduler, schedule
+
+    def build_fault_injector(self) -> Optional[ServerCrashSchedule]:
+        """The scenario's crash schedule, or ``None`` for a reliable server."""
+        if not self.crash_after_rounds:
+            return None
+        return ServerCrashSchedule(*self.crash_after_rounds)
 
 
 def build_schedule(name: str, seed: int = 0, **kwargs) -> ParticipationSchedule:
@@ -270,6 +385,18 @@ _SCENARIOS: Dict[str, FleetScenario] = {
             schedule_name="flash-crowd",
             schedule_kwargs={"join_round": 2, "leave_round": 6, "crowd_fraction": 0.5},
         ),
+        FleetScenario(
+            name="unreliable-server",
+            description=(
+                "Small edge fleet whose server crashes after round 2 — run with "
+                "--checkpoint-dir so the crash is recoverable, then re-run with "
+                "--resume to finish the remaining rounds bit-identically"
+            ),
+            num_clients=16,
+            client_fraction=0.25,
+            rounds=5,
+            crash_after_rounds=(2,),
+        ),
     )
 }
 
@@ -317,6 +444,7 @@ def build_fleet_runtime(
         executor=executor,
         transport=transport,
         schedule=schedule,
+        fault_injector=scenario.build_fault_injector(),
     )
 
 
@@ -325,6 +453,9 @@ __all__ = [
     "FullParticipation",
     "DiurnalSchedule",
     "FlashCrowdSchedule",
+    "FaultInjector",
+    "ServerCrashSchedule",
+    "SimulatedCrash",
     "FleetScenario",
     "build_schedule",
     "available_scenarios",

@@ -38,6 +38,16 @@ class RoundScheduler:
         """Execute one round against the runtime and return its record."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-compatible fingerprint of this scheduler's configuration.
+
+        Schedulers are stateless between rounds, so the fingerprint exists for
+        *validation*, not restoration: a checkpoint records it and resume
+        refuses to continue under a scheduler with different round semantics
+        (which would silently break bit-identical resumability).
+        """
+        return {"name": self.name}
+
 
 class SynchronousScheduler(RoundScheduler):
     """FedAvg: wait for every participant, aggregate them all."""
@@ -74,6 +84,9 @@ class SemiSynchronousScheduler(RoundScheduler):
         if deadline_seconds <= 0:
             raise ValueError(f"deadline must be positive, got {deadline_seconds}")
         self.deadline_seconds = float(deadline_seconds)
+
+    def state_dict(self) -> dict:
+        return {"name": self.name, "deadline_seconds": self.deadline_seconds}
 
     def run_round(self, runtime: "FederatedRuntime") -> RoundRecord:
         context = runtime.start_round()
@@ -123,6 +136,13 @@ class AsynchronousScheduler(RoundScheduler):
             )
         self.mixing_rate = float(mixing_rate)
         self.staleness_exponent = float(staleness_exponent)
+
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mixing_rate": self.mixing_rate,
+            "staleness_exponent": self.staleness_exponent,
+        }
 
     def staleness_weight(self, staleness: int) -> float:
         """Mixing weight for an update that is ``staleness`` versions old."""

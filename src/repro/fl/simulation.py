@@ -132,9 +132,14 @@ class FLSimulation:
         """The active transport layer."""
         return self.runtime.transport
 
-    def run(self, rounds: Optional[int] = None) -> TrainingHistory:
-        """Run ``rounds`` communication rounds (defaults to the configured count)."""
-        return self.runtime.run(rounds)
+    def run(self, rounds: Optional[int] = None, **run_kwargs) -> TrainingHistory:
+        """Run ``rounds`` communication rounds (defaults to the configured count).
+
+        Checkpoint/resume keywords (``checkpoint_dir``, ``checkpoint_every``,
+        ``resume``, ``keep_checkpoints``, ``fault_injector``) pass straight
+        through to :meth:`repro.fl.runtime.FederatedRuntime.run`.
+        """
+        return self.runtime.run(rounds, **run_kwargs)
 
     def run_round(self) -> RoundRecord:
         """Execute one round under the configured scheduler."""

@@ -218,6 +218,17 @@ class ClientRegistry(Sequence):
         """How many client objects have actually been constructed."""
         return len(self._clients)
 
+    def materialized_items(self) -> List[tuple]:
+        """``(client_id, client)`` pairs for every materialised client, in id
+        order.
+
+        Checkpointing iterates these instead of the whole registry: a client
+        that was never materialised has never advanced any stream, so
+        rebuilding it lazily after resume is already bit-identical — only the
+        clients that actually ran carry state worth persisting.
+        """
+        return [(index, self._clients[index]) for index in sorted(self._clients)]
+
 
 __all__ = [
     "ModelPool",

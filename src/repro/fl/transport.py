@@ -343,6 +343,42 @@ class Transport:
             return self._channel.total_seconds if self._channel is not None else 0.0
         return sum(link.channel.total_seconds for link in self.links.values())
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def rng_states(self) -> Dict[int, dict]:
+        """Bit-generator state of every link's private dropout stream.
+
+        Part of a :class:`repro.fl.checkpoint.RunCheckpoint`: dropout draws
+        advance round by round, so resuming without them would replay (or
+        skip) packet losses and diverge from the uninterrupted run.
+        """
+        return {
+            client_id: link._rng.bit_generator.state
+            for client_id, link in self.links.items()
+        }
+
+    def restore_rng_states(self, states: Mapping[int, dict]) -> None:
+        """Restore previously captured per-link dropout streams."""
+        for client_id, state in states.items():
+            client_id = int(client_id)
+            if client_id not in self.links:
+                raise KeyError(
+                    f"checkpoint carries a dropout stream for client {client_id} "
+                    f"but the transport has links for {len(self.links)} clients"
+                )
+            self.links[client_id]._rng.bit_generator.state = state
+
+    def spec_fingerprint(self) -> Dict[str, object]:
+        """JSON-compatible description of the link topology, for checkpoint
+        validation: resuming over different links would change every modelled
+        transfer time and dropout draw."""
+        from dataclasses import asdict
+
+        if self._specs is None:
+            return {"kind": "homogeneous", "spec": asdict(self._default_spec)}
+        return {"kind": "heterogeneous", "specs": [asdict(spec) for spec in self._specs]}
+
 
 def edge_fleet_specs(
     num_clients: int,

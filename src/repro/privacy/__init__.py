@@ -7,6 +7,7 @@ injection).
 
 from repro.privacy.dp import (
     EquivalentPrivacyEstimate,
+    client_round_rng,
     equivalent_epsilon,
     laplace_mechanism,
     perturb_state_dict_with_laplace,
@@ -22,6 +23,7 @@ from repro.privacy.laplace import LaplaceFit, error_histogram, fit_laplace, lapl
 
 __all__ = [
     "EquivalentPrivacyEstimate",
+    "client_round_rng",
     "equivalent_epsilon",
     "laplace_mechanism",
     "perturb_state_dict_with_laplace",

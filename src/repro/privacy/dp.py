@@ -42,18 +42,48 @@ class EquivalentPrivacyEstimate:
         }
 
 
+def client_round_rng(seed: int, client_id: int, round_index: int) -> np.random.Generator:
+    """The DP-noise substream for one ``(client, round)`` release.
+
+    Derived through :class:`numpy.random.SeedSequence` so the streams are
+    statistically independent across clients and rounds while remaining a pure
+    function of ``(seed, client_id, round_index)``: replaying a round draws
+    the same noise no matter how many other clients ran first or on which
+    executor.  This is the substream DP releases should draw from — a single
+    sequential generator shared across clients (as
+    :class:`~repro.privacy.DPFedSZCompressor` still uses) consumes noise in
+    call order, which under the parallel executor depends on thread timing.
+    """
+    sequence = np.random.SeedSequence([int(seed), int(client_id), int(round_index)])
+    return np.random.default_rng(sequence)
+
+
 def laplace_mechanism(
     values: np.ndarray,
     sensitivity: float,
     epsilon: float,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
-    """Add Laplace(Δ/ε) noise to ``values`` (the textbook mechanism)."""
+    """Add Laplace(Δ/ε) noise to ``values`` (the textbook mechanism).
+
+    ``rng`` is required: a :class:`numpy.random.Generator` or an integer seed.
+    The previous signature silently fell back to an *unseeded* generator,
+    which made every DP run irreproducible — use :func:`client_round_rng` to
+    derive the per-client, per-round substream a federated release should draw
+    from.
+    """
     if sensitivity <= 0:
         raise ValueError(f"sensitivity must be positive, got {sensitivity}")
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        raise ValueError(
+            "laplace_mechanism requires an explicit rng or integer seed; DP noise "
+            "must come from a seeded stream (see client_round_rng) so runs are "
+            "reproducible"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
     scale = sensitivity / epsilon
     values = np.asarray(values, dtype=np.float64)
     return values + rng.laplace(0.0, scale, size=values.shape)

@@ -93,6 +93,41 @@ class DPFedSZCompressor:
         return self._codec.decompress(payload)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def checkpoint_fingerprint(self) -> Dict[str, object]:
+        """Static identity for resume validation (mechanism + codec settings)."""
+        from dataclasses import asdict
+
+        return {
+            "epsilon_per_round": self.epsilon_per_round,
+            "clip_norm": self.clip_norm,
+            "codec": asdict(self._codec.config),
+        }
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Snapshot the noise stream and the spent privacy budget.
+
+        Both advance with every release: resuming without them would replay
+        noise draws (correlating the resumed updates with the crashed run's)
+        and under-count ``spent_epsilon``.
+        """
+        return {
+            "kind": "dp-fedsz",
+            "rng": self._rng.bit_generator.state,
+            "rounds_released": self.rounds_released,
+        }
+
+    def restore_checkpoint_state(self, state: Mapping) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        if state.get("kind") != "dp-fedsz":
+            raise ValueError(
+                f"checkpoint codec state is {state.get('kind')!r}, not 'dp-fedsz'"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        self.rounds_released = int(state["rounds_released"])
+
+    # ------------------------------------------------------------------
     # Mechanism
     # ------------------------------------------------------------------
     def _privatize(self, state_dict: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:

@@ -12,7 +12,27 @@ from repro.cli import main
 
 def test_registry_contains_the_documented_workloads():
     names = {spec.name for spec in available_workloads()}
-    assert {"tiny", "huffman", "bitstream", "codecs", "fl_round", "codec_parallel"} <= names
+    assert {
+        "tiny", "huffman", "bitstream", "codecs", "fl_round", "codec_parallel",
+        "checkpoint",
+    } <= names
+
+
+def test_committed_checkpoint_baseline_is_valid():
+    from pathlib import Path
+
+    baseline = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "baselines" / "checkpoint.json"
+    )
+    report = json.loads(baseline.read_text())
+    validate_report(report)
+    assert report["workload"] == "checkpoint"
+    assert {
+        "checkpoint_tiny_snapshot",
+        "checkpoint_tiny_restore",
+        "checkpoint_paper_snapshot",
+        "checkpoint_paper_restore",
+    } <= set(report["metrics"])
 
 
 def test_committed_codec_parallel_baseline_is_valid():

@@ -120,3 +120,65 @@ def test_transfer_stats_ratio_regular_payload():
     assert stats.ratio == pytest.approx(
         compression_ratio(4096, stats.payload_nbytes)
     )
+
+
+# ----------------------------------------------------------------------
+# Zero-byte transfers and dropped-update accounting
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("latency", [0.0, 0.05, 0.5])
+@pytest.mark.parametrize("straggler_factor", [1.0, 10.0])
+def test_zero_byte_transfer_still_pays_link_latency(latency, straggler_factor):
+    """A zero-byte send is still a round trip: it must cost exactly the link
+    latency (scaled by the straggler factor), never come back free."""
+    link = ClientLink(
+        0,
+        LinkSpec(
+            bandwidth_mbps=10.0,
+            latency_seconds=latency,
+            straggler_factor=straggler_factor,
+        ),
+    )
+    assert link.transmission_seconds(0) == pytest.approx(latency * straggler_factor)
+    # The payload component is additive on top of the latency floor.
+    assert link.transmission_seconds(1_000_000) > link.transmission_seconds(0)
+    # The channel-send path bills the same arithmetic.
+    record = link.send(0, description="empty")
+    assert record.seconds == pytest.approx(latency * straggler_factor)
+
+
+def test_empty_payload_send_through_codec_pays_latency():
+    link = ClientLink(0, LinkSpec(bandwidth_mbps=10.0, latency_seconds=0.25))
+    state = {"w": np.ones(16, dtype=np.float32)}
+    _, stats = transmit_update(state, _EmptyPayloadCodec(), link)
+    assert stats.payload_nbytes == 0
+    assert stats.transfer_seconds == pytest.approx(0.25)
+
+
+def test_dropped_updates_do_not_contribute_uplink_bytes(data, model_fn, monkeypatch):
+    """Regression: RoundRecord.uplink_bytes summed over *all* results, so
+    updates lost in transit inflated the server-ingress accounting."""
+    train, val = data
+    runtime = FederatedRuntime(
+        model_fn, train, val,
+        FLConfig(num_clients=4, rounds=1, batch_size=16, seed=3),
+        transport=Transport.heterogeneous(
+            [LinkSpec(dropout_probability=0.5) for _ in range(4)]
+        ),
+    )
+    # Deterministically drop clients 1 and 3.
+    monkeypatch.setattr(
+        ClientLink, "roll_dropout", lambda self: self.client_id in (1, 3)
+    )
+    record = runtime.run_round()
+    assert record.dropped_clients == 2
+    delivered_bytes = sum(
+        stat.payload_nbytes for stat in record.client_stats if stat.delivered
+    )
+    attempted_bytes = sum(stat.payload_nbytes for stat in record.client_stats)
+    assert record.uplink_bytes == delivered_bytes
+    assert record.uplink_bytes < attempted_bytes
+    # Transfer *time* still counts every attempt: the link was occupied and
+    # the synchronous server waited out the lost updates' windows.
+    assert record.uplink_seconds == pytest.approx(
+        sum(stat.transfer_seconds for stat in record.client_stats)
+    )

@@ -313,7 +313,7 @@ def test_bad_mask_shape_raises(data, model_fn):
 # ----------------------------------------------------------------------
 def test_available_scenarios_names():
     names = [scenario.name for scenario in available_scenarios()]
-    assert names == ["diurnal", "flash-crowd", "uniform-edge"]
+    assert names == ["diurnal", "flash-crowd", "uniform-edge", "unreliable-server"]
 
 
 def test_get_scenario_overrides():
@@ -352,3 +352,42 @@ def test_build_fleet_runtime_smoke(data, model_fn):
     # Before the crowd joins, only the 4-client core is eligible.
     assert record.participating_clients == 2
     assert all(stat.client_id < 4 for stat in record.client_stats)
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def test_server_crash_schedule_fires_on_listed_rounds():
+    from repro.fl import ServerCrashSchedule, SimulatedCrash
+
+    schedule = ServerCrashSchedule(1, 3)
+    schedule.after_round(0)  # silent
+    with pytest.raises(SimulatedCrash) as crash:
+        schedule.after_round(1)
+    assert crash.value.round_index == 1
+    schedule.after_round(2)
+    with pytest.raises(SimulatedCrash):
+        schedule.after_round(3)
+    with pytest.raises(ValueError):
+        ServerCrashSchedule()
+    with pytest.raises(ValueError):
+        ServerCrashSchedule(-1)
+
+
+def test_unreliable_server_scenario_crashes_and_builds_injector(data, model_fn):
+    from repro.fl import ServerCrashSchedule, SimulatedCrash, get_scenario
+
+    scenario = get_scenario("unreliable-server", num_clients=4, rounds=3)
+    injector = scenario.build_fault_injector()
+    assert isinstance(injector, ServerCrashSchedule)
+    assert injector.crash_after_rounds == (2,)
+    assert get_scenario("uniform-edge").build_fault_injector() is None
+
+    train, val = data
+    runtime = build_fleet_runtime(
+        scenario.with_overrides(crash_after_rounds=(0,)),
+        model_fn, train, val, seed=2, batch_size=16,
+    )
+    with pytest.raises(SimulatedCrash):
+        runtime.run()
+    assert len(runtime.history) == 1  # round 0 completed before the crash

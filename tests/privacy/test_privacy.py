@@ -9,6 +9,7 @@ from repro.nn.models import create_model, synthetic_pretrained_weights
 from repro.privacy import (
     analyze_array_errors,
     analyze_state_dict_errors,
+    client_round_rng,
     compression_errors_for_array,
     equivalent_epsilon,
     error_histogram,
@@ -110,6 +111,35 @@ def test_laplace_mechanism_validation():
         laplace_mechanism(np.zeros(3), sensitivity=0.0, epsilon=1.0)
     with pytest.raises(ValueError):
         laplace_mechanism(np.zeros(3), sensitivity=1.0, epsilon=0.0)
+
+
+def test_laplace_mechanism_refuses_unseeded_noise():
+    """Regression: the old `rng or default_rng()` fallback silently produced
+    irreproducible DP noise; an explicit rng or seed is now required."""
+    with pytest.raises(ValueError, match="rng or integer seed"):
+        laplace_mechanism(np.zeros(3), sensitivity=1.0, epsilon=1.0)
+
+
+def test_laplace_mechanism_is_reproducible_from_seed():
+    values = np.linspace(-1.0, 1.0, 64)
+    first = laplace_mechanism(values, sensitivity=1.0, epsilon=1.0, rng=123)
+    second = laplace_mechanism(values, sensitivity=1.0, epsilon=1.0, rng=123)
+    np.testing.assert_array_equal(first, second)
+    different = laplace_mechanism(values, sensitivity=1.0, epsilon=1.0, rng=124)
+    assert not np.array_equal(first, different)
+
+
+def test_client_round_rng_substreams():
+    """Per-(client, round) substreams are reproducible and independent: the
+    same triple always yields the same draws, any differing component yields a
+    different stream, and draw order across clients cannot matter."""
+    base = client_round_rng(0, client_id=3, round_index=5).laplace(size=16)
+    np.testing.assert_array_equal(
+        base, client_round_rng(0, client_id=3, round_index=5).laplace(size=16)
+    )
+    for seed, client_id, round_index in [(1, 3, 5), (0, 4, 5), (0, 3, 6)]:
+        other = client_round_rng(seed, client_id, round_index).laplace(size=16)
+        assert not np.array_equal(base, other)
 
 
 def test_equivalent_epsilon_inverse_relationship(rng):

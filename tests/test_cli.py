@@ -75,3 +75,40 @@ def test_cli_fl_subcommand_runs_layered_runtime(capsys):
     out = capsys.readouterr().out
     assert "accuracy" in out
     assert "turnaround_seconds" in out  # per-client table printed
+
+
+def test_cli_fl_checkpoint_crash_and_resume(tmp_path, capsys):
+    """The unreliable-server scenario exits 3 at the simulated crash, leaves
+    resumable snapshots behind, and --resume completes the run."""
+    directory = tmp_path / "ckpts"
+    common = [
+        "fl",
+        "--scenario", "unreliable-server",
+        "--clients", "4",
+        "--rounds", "4",
+        "--samples", "160",
+        "--checkpoint-dir", str(directory),
+    ]
+    assert main(common) == 3
+    err = capsys.readouterr().err
+    assert "simulated server crash" in err
+    assert "--resume" in err
+    assert any(path.suffix == ".ckpt" for path in directory.iterdir())
+
+    assert main(common + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+
+
+def test_cli_fl_resume_requires_checkpoint_dir(capsys):
+    exit_code = main(["fl", "--rounds", "1", "--samples", "160",
+                      "--clients", "2", "--resume"])
+    assert exit_code == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+def test_cli_fl_checkpoint_every_requires_checkpoint_dir(capsys):
+    exit_code = main(["fl", "--rounds", "1", "--samples", "160",
+                      "--clients", "2", "--checkpoint-every", "5"])
+    assert exit_code == 2
+    assert "--checkpoint-dir" in capsys.readouterr().err
