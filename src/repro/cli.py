@@ -131,9 +131,8 @@ def run_fl(
     from repro.experiments.workloads import build_federated_setup
     from repro.fl import (
         FLSimulation,
-        ParallelExecutor,
-        SerialExecutor,
         Transport,
+        build_executor,
         build_fleet_runtime,
         edge_fleet_specs,
         get_scenario,
@@ -205,7 +204,7 @@ def run_fl(
             setup.train_dataset,
             setup.validation_dataset,
             codec=codec,
-            executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
+            executor=build_executor(executor, workers),
             # Train with the same hyper-parameters as the non-scenario path;
             # the preset only decides fleet shape, links and availability.
             seed=setup.config.seed,
@@ -217,7 +216,10 @@ def run_fl(
             bandwidth_mbps=setup.config.bandwidth_mbps,
             eval_batch_size=setup.config.eval_batch_size,
         )
-        return runtime.run(**run_kwargs)
+        try:
+            return runtime.run(**run_kwargs)
+        finally:
+            runtime.close()
 
     scheduler_kwargs = {}
     canonical = canonical_scheduler_name(scheduler)
@@ -247,10 +249,13 @@ def run_fl(
         config,
         codec=codec,
         scheduler=get_scheduler(scheduler, **scheduler_kwargs),
-        executor=ParallelExecutor(workers) if executor == "parallel" else SerialExecutor(),
+        executor=build_executor(executor, workers),
         transport=transport,
     )
-    return simulation.run(**run_kwargs)
+    try:
+        return simulation.run(**run_kwargs)
+    finally:
+        simulation.close()
 
 
 def _run_fl_from_args(arguments) -> "object":
@@ -341,7 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="semi-sync straggler deadline (simulated seconds)")
     fl_parser.add_argument("--mixing-rate", type=float, default=0.5,
                            help="async staleness-mixing rate")
-    fl_parser.add_argument("--executor", default="serial", choices=["serial", "parallel"])
+    fl_parser.add_argument("--executor", default="serial",
+                           choices=["serial", "thread", "process", "parallel"],
+                           help="how client work runs each round: serial loop, "
+                                "thread pool ('parallel' is a legacy alias), or "
+                                "shared-nothing worker processes — all "
+                                "bit-identical for deterministic codecs")
     fl_parser.add_argument("--workers", type=int, default=4)
     fl_parser.add_argument("--heterogeneous", action="store_true",
                            help="give each client its own edge link")

@@ -6,8 +6,11 @@ The runtime separates the three concerns a real FL stack separates:
   synchronous FedAvg, semi-synchronous with a straggler deadline, or
   asynchronous staleness-weighted mixing;
 * **executor** (:mod:`repro.fl.executor`) — how client work runs: strictly
-  sequential (:class:`SerialExecutor`) or concurrently on a thread pool
-  (:class:`ParallelExecutor`), with per-client codec instances;
+  sequential (:class:`SerialExecutor`), concurrently on a thread pool
+  (:class:`ParallelExecutor`, per-worker codec clones), or on a persistent
+  shared-nothing worker-process pool
+  (:class:`ProcessParallelExecutor`), fed by a fingerprint-keyed
+  once-per-round broadcast payload cache (:mod:`repro.fl.broadcast`);
 * **transport** (:mod:`repro.fl.transport`) — what each client's link looks
   like: one shared channel or heterogeneous per-client bandwidth, latency,
   straggler and dropout profiles, optionally backed by a device profile for
@@ -22,10 +25,12 @@ the global model, and every client update is routed through a pluggable codec
 """
 
 from repro.fl.aggregation import fedavg, mix_states, state_dict_difference
+from repro.fl.broadcast import BroadcastCache, BroadcastPayload, state_fingerprint
 from repro.fl.checkpoint import (
     CheckpointError,
     RunCheckpoint,
     capture_runtime,
+    codec_fingerprint,
     fired_crash_rounds,
     latest_checkpoint,
     list_checkpoints,
@@ -40,11 +45,15 @@ from repro.fl.executor import (
     ClientResult,
     ClientTask,
     ParallelExecutor,
+    ProcessParallelExecutor,
     SerialExecutor,
+    build_executor,
 )
 from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
 from repro.fl.runtime import DownlinkStats, FederatedRuntime, RoundContext
 from repro.fl.scenarios import (
+    ClientCrash,
+    ClientCrashSchedule,
     DiurnalSchedule,
     FaultInjector,
     FlashCrowdSchedule,
@@ -86,7 +95,13 @@ __all__ = [
     "ClientResult",
     "ClientTask",
     "ParallelExecutor",
+    "ProcessParallelExecutor",
     "SerialExecutor",
+    "build_executor",
+    "BroadcastCache",
+    "BroadcastPayload",
+    "state_fingerprint",
+    "codec_fingerprint",
     "ClientRoundStat",
     "RoundRecord",
     "TrainingHistory",
@@ -108,6 +123,8 @@ __all__ = [
     "FaultInjector",
     "ServerCrashSchedule",
     "SimulatedCrash",
+    "ClientCrash",
+    "ClientCrashSchedule",
     "ParticipationSchedule",
     "FullParticipation",
     "DiurnalSchedule",

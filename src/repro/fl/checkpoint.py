@@ -98,19 +98,23 @@ def _jsonable(value):
     raise TypeError(f"checkpoint metadata is not JSON-serializable: {type(value)!r}")
 
 
-def _codec_fingerprint(codec) -> Optional[Dict[str, object]]:
-    """Identity of the uplink codec, for resume validation.
+def codec_fingerprint(codec) -> Optional[Dict[str, object]]:
+    """Identity of a codec: class name plus static configuration.
 
-    Resuming under a different codec — or the same codec at a different error
-    bound — would produce different payloads and different reconstructed
-    weights from the first resumed round, silently breaking the bit-identical
-    guarantee, so the fingerprint is part of the compatibility check.  It is
-    the codec's class name plus its static configuration: a dataclass
-    ``.config`` when the codec has one (:class:`~repro.core.FedSZCompressor`),
-    or the result of an opt-in ``checkpoint_fingerprint()`` for composite
-    codecs whose settings live elsewhere (the adaptive and DP wrappers).  The
-    value is canonicalised through JSON so captured and freshly computed
-    fingerprints compare equal after the on-disk round trip.
+    Born as resume validation — resuming under a different codec, or the same
+    codec at a different error bound, would produce different payloads and
+    different reconstructed weights from the first resumed round, silently
+    breaking the bit-identical guarantee, so the fingerprint is part of the
+    compatibility check.  The broadcast payload cache
+    (:mod:`repro.fl.broadcast`) keys on the same identity, so a codec or
+    error-bound swap between rounds invalidates cached broadcasts for free.
+    The identity is the codec's class name plus its static configuration: a
+    dataclass ``.config`` when the codec has one
+    (:class:`~repro.core.FedSZCompressor`), or the result of an opt-in
+    ``checkpoint_fingerprint()`` for composite codecs whose settings live
+    elsewhere (the adaptive and DP wrappers).  The value is canonicalised
+    through JSON so captured and freshly computed fingerprints compare equal
+    after the on-disk round trip.
     """
     if codec is None:
         return None
@@ -123,6 +127,10 @@ def _codec_fingerprint(codec) -> Optional[Dict[str, object]]:
         if dataclasses.is_dataclass(config):
             fingerprint["params"] = dataclasses.asdict(config)
     return json.loads(json.dumps(fingerprint, sort_keys=True, default=_jsonable))
+
+
+#: Backwards-compatible alias from before the fingerprint went public.
+_codec_fingerprint = codec_fingerprint
 
 
 @dataclass(frozen=True)
@@ -249,7 +257,7 @@ def capture_runtime(runtime) -> RunCheckpoint:
         link_rngs={str(cid): state for cid, state in runtime.transport.rng_states().items()},
         clients=clients,
         codec=codec_state,
-        codec_fingerprint=_codec_fingerprint(runtime.codec),
+        codec_fingerprint=codec_fingerprint(runtime.codec),
         history_rows=runtime.history.serialize(),
         model_state=runtime.server.global_state(),
     )
@@ -266,9 +274,13 @@ def _check_match(kind: str, saved, current) -> None:
 
 #: Config fields that do not influence the simulated outcome and may differ
 #: between the checkpointing and resuming processes: the round target (resume
-#: may extend a run) and the model-pool bound (pooled execution is
-#: bit-identical at any pool size).
-_EXECUTION_ONLY_CONFIG_FIELDS = frozenset({"rounds", "max_resident_models"})
+#: may extend a run), the model-pool bound (pooled execution is bit-identical
+#: at any pool size), and the executor choice (serial, thread and process
+#: execution are bit-identical by construction, so a run may resume under a
+#: different executor or worker count).
+_EXECUTION_ONLY_CONFIG_FIELDS = frozenset(
+    {"rounds", "max_resident_models", "executor", "max_workers"}
+)
 
 
 def validate_compatible(runtime, checkpoint: RunCheckpoint) -> None:
@@ -291,7 +303,7 @@ def validate_compatible(runtime, checkpoint: RunCheckpoint) -> None:
         runtime.schedule.state_dict() if runtime.schedule is not None else None,
     )
     _check_match("transport topology", checkpoint.transport, runtime.transport.spec_fingerprint())
-    _check_match("codec", checkpoint.codec_fingerprint, _codec_fingerprint(runtime.codec))
+    _check_match("codec", checkpoint.codec_fingerprint, codec_fingerprint(runtime.codec))
     if checkpoint.codec is not None and not callable(
         getattr(runtime.codec, "restore_checkpoint_state", None)
     ):
@@ -456,6 +468,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "CheckpointError",
     "RunCheckpoint",
+    "codec_fingerprint",
     "capture_runtime",
     "restore_runtime",
     "validate_compatible",

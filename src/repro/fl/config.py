@@ -58,6 +58,17 @@ class FLConfig:
     #: when the executor does not declare a worker count.
     max_resident_models: Optional[int] = None
     seed: int = 0
+    #: How client work runs each round: ``"serial"`` (the seed loop),
+    #: ``"thread"`` (alias ``"parallel"``: a thread pool overlapping the
+    #: GIL-releasing fraction), or ``"process"`` (shared-nothing worker
+    #: processes — see :class:`repro.fl.executor.ProcessParallelExecutor`).
+    #: All three are bit-identical for deterministic codecs; an executor
+    #: *object* passed to the runtime overrides this.  Execution-only: a
+    #: checkpointed run may resume under a different executor.
+    executor: str = "serial"
+    #: Worker count for the parallel executors (``None`` = thread pool sized
+    #: to the task count, process pool sized to the host's cores).
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -88,3 +99,15 @@ class FLConfig:
             raise ValueError(
                 f"max_resident_models must be positive, got {self.max_resident_models}"
             )
+        if self.executor.lower().replace("_", "-") not in {
+            "serial",
+            "thread",
+            "parallel",
+            "process",
+        }:
+            raise ValueError(
+                f"executor must be 'serial', 'thread' (alias 'parallel') or "
+                f"'process', got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")

@@ -1,49 +1,86 @@
 """Executor layer of the federated runtime.
 
 Executors decide *how* the per-round client work (local training, update
-compression, transport) runs: :class:`SerialExecutor` reproduces the seed
-simulation's strictly sequential loop, :class:`ParallelExecutor` runs clients
-concurrently on a thread pool — local training is numpy-heavy (the BLAS calls
-release the GIL) and the emulated link sleeps overlap, so an 8-client round on
-4 workers finishes in roughly the time of its two slowest clients.
+compression, transport) runs:
+
+* :class:`SerialExecutor` reproduces the seed simulation's strictly
+  sequential loop;
+* :class:`ParallelExecutor` runs clients concurrently on a thread pool —
+  local training is numpy-heavy (the BLAS calls release the GIL) and the
+  emulated link sleeps overlap, so an 8-client round on 4 workers finishes in
+  roughly the time of its two slowest clients;
+* :class:`ProcessParallelExecutor` runs clients on a persistent
+  shared-nothing worker-process pool.  Threads only overlap the GIL-releasing
+  fraction of the work; the pure-Python training loop (optimizer steps, loss
+  bookkeeping, loader iteration) still serialises on one interpreter lock.
+  Worker processes each own a private interpreter, model pool and codec
+  clone, so numpy-heavy rounds scale with cores — the regime the paper's
+  fleet-scale wall-clock analysis assumes.
 
 Results are always returned in task order regardless of completion order, and
 every client draws from its own seeded streams, so for deterministic codecs
 the executor choice never changes the simulated outcome — only the wall-clock
-time to compute it (see ``tests/fl/test_runtime_layers.py`` for the
-determinism guarantee).  The one exception is a *stochastic* shared codec
-without ``clone()`` (e.g. the DP codec, whose noise stream is consumed in
-call order): under the parallel executor, which client draws which noise
-depends on thread arrival order, so such runs are only reproducible with the
-serial executor.
+time to compute it (see ``tests/fl/test_runtime_layers.py`` and
+``tests/integration/test_process_executor.py`` for the determinism
+guarantee).  The one exception is a *stochastic* shared codec without
+``clone()`` (e.g. the DP codec, whose noise stream is consumed in call
+order): under the thread executor, which client draws which noise depends on
+thread arrival order, so such runs are only reproducible with the serial
+executor — and the process executor refuses them outright (its workers need
+independent clones).
 
 When a codec exposes ``clone()`` (e.g. :class:`repro.core.FedSZCompressor`),
-the parallel executor gives each client its own instance so concurrent
-compressions cannot clobber each other's ``last_report``.  Since the codecs
-moved to the stage pipeline (:mod:`repro.compression.stages`) every stage is
-stateless and ``clone()`` is a shallow copy — O(1) regardless of fleet size,
-so per-client cloning costs nothing even for hundreds of participants.
-Stateful codecs without ``clone()`` (adaptive or DP codecs, whose round
-counters must stay global) are shared behind a lock instead.
+the thread executor builds **one clone per worker** (checked out per task
+from a small pool, not one per client — a fleet round reuses each worker's
+clone across all of that worker's tasks) so concurrent compressions cannot
+clobber each other's ``last_report``.  Stateful codecs without ``clone()``
+(adaptive or DP codecs, whose round counters must stay global) are shared
+behind a lock instead.
+
+The process executor keeps determinism with a strict split of ownership:
+
+* **workers** do everything compute-bound but *stream-free* for the parent —
+  local training and codec work — against per-task client RNG snapshots
+  shipped in the task spec and shipped back advanced;
+* the **parent** keeps every simulation stream it owns: it pre-rolls link
+  dropout in task order before dispatch and replays the (pure-arithmetic)
+  channel sends in task order after collection, so channel logs and RNG
+  streams match the serial run draw for draw.
+
+Each round the parent ships a single fingerprint-keyed
+:class:`~repro.fl.broadcast.BroadcastPayload` to every worker; a worker
+decodes it once per round and serves all of its tasks from the decoded state,
+so broadcast deserialisation is O(workers), not O(participants).
 
 Per-client concurrency composes with the pipeline's *per-tensor* concurrency
 (``FedSZConfig.parallel_tensors``): the two pools multiply, so when both are
 enabled size them so ``executor workers × codec workers`` stays near the host
-core count — oversubscribing GIL-releasing numpy threads degrades gracefully
-but buys nothing.
+core count — oversubscribing degrades gracefully but buys nothing.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import queue as queue_module
 import threading
+import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.compression.metrics import compression_ratio
+from repro.core.serializer import serialize_named_arrays
+from repro.fl.broadcast import ENCODING_ARRAYS, BroadcastPayload, state_fingerprint
+from repro.fl.checkpoint import codec_fingerprint
 from repro.fl.client import ClientUpdate, FLClient
-from repro.fl.transport import ClientLink, TransferStats, transmit_update
+from repro.fl.scenarios import ClientCrash
+from repro.fl.state import ClientRegistry, ModelPool
+from repro.fl.transport import ClientLink, LinkSpec, TransferStats, transmit_update
+from repro.network.devices import get_device_profile
 
 
 @dataclass
@@ -58,6 +95,15 @@ class ClientTask:
     #: own downlink; folded into the turnaround so schedulers see the full
     #: receive → train → transmit window.
     downlink_seconds: float = 0.0
+    #: Simulated mid-round death of this client (see
+    #: :class:`repro.fl.scenarios.ClientCrash`): raised instead of training,
+    #: surfacing as a dropped update with zero payload bytes.
+    fault: Optional[BaseException] = None
+    #: The round's shared wire buffer (built once per round by the runtime's
+    #: :class:`~repro.fl.broadcast.BroadcastCache` when the executor sets
+    #: ``wants_broadcast_payload``); ``None`` for in-process executors, which
+    #: share ``broadcast_state`` by reference.
+    broadcast_payload: Optional[BroadcastPayload] = None
 
 
 @dataclass
@@ -77,7 +123,14 @@ class ClientResult:
 
 
 def run_client_task(task: ClientTask, codec, lock=None) -> ClientResult:
-    """Train one client on the broadcast state and transmit its update."""
+    """Train one client on the broadcast state and transmit its update.
+
+    A task carrying a fault raises it *before* any stream advances — the
+    client died without training, rolling dropout or touching the channel —
+    so crashed runs stay bit-identical across executors.
+    """
+    if task.fault is not None:
+        raise task.fault
     update = task.client.train(task.broadcast_state, learning_rate=task.learning_rate)
     state, stats = transmit_update(update.state_dict, codec, task.link, lock=lock)
     turnaround = (
@@ -96,6 +149,31 @@ def run_client_task(task: ClientTask, codec, lock=None) -> ClientResult:
     )
 
 
+def crashed_client_result(task: ClientTask) -> ClientResult:
+    """The :class:`ClientResult` of a client that died mid-round.
+
+    The client never transmitted: zero payload bytes, zero codec and transfer
+    time, ``delivered=False``.  Its turnaround is just the broadcast receive
+    time — the only simulated work that happened before the death.
+    """
+    update = ClientUpdate(
+        client_id=task.client.client_id,
+        state_dict={},
+        num_samples=task.client.num_samples,
+        train_loss=0.0,
+        train_accuracy=0.0,
+        train_seconds=0.0,
+    )
+    stats = TransferStats(payload_nbytes=0, transfer_seconds=0.0, ratio=1.0, delivered=False)
+    return ClientResult(
+        client_id=task.client.client_id,
+        update=update,
+        state=None,
+        stats=stats,
+        turnaround_seconds=task.downlink_seconds,
+    )
+
+
 class SerialExecutor:
     """Run clients one after another — the seed simulation's behaviour."""
 
@@ -105,16 +183,23 @@ class SerialExecutor:
 
     def run_clients(self, tasks: List[ClientTask], codec=None) -> List[ClientResult]:
         """Execute every task in order with the shared codec instance."""
-        return [run_client_task(task, codec) for task in tasks]
+        results = []
+        for task in tasks:
+            try:
+                results.append(run_client_task(task, codec))
+            except ClientCrash:
+                results.append(crashed_client_result(task))
+        return results
 
 
 class ParallelExecutor:
     """Run clients concurrently on a thread pool.
 
     ``max_workers`` bounds concurrency (defaults to the task count).  Codecs
-    with a ``clone()`` method get one instance per client; other codecs are
-    shared behind a lock, which serialises codec work but still overlaps
-    training and transport.
+    with a ``clone()`` method get one instance **per worker**, checked out
+    per task — a fleet round costs O(workers) clones, not O(participants).
+    Other codecs are shared behind a lock, which serialises codec work but
+    still overlaps training and transport.
     """
 
     name = "parallel"
@@ -128,16 +213,28 @@ class ParallelExecutor:
         """Execute tasks concurrently; results come back in task order."""
         if not tasks:
             return []
+        workers = min(self.max_workers or len(tasks), len(tasks))
         cloneable = codec is not None and hasattr(codec, "clone")
-        codecs = [codec.clone() if cloneable else codec for _ in tasks]
         lock = threading.Lock() if (codec is not None and not cloneable) else None
 
-        workers = self.max_workers or len(tasks)
+        clones: Optional[queue_module.SimpleQueue] = None
+        if cloneable:
+            clones = queue_module.SimpleQueue()
+            for _ in range(workers):
+                clones.put(codec.clone())
+
+        def run_one(task: ClientTask) -> ClientResult:
+            task_codec = clones.get() if clones is not None else codec
+            try:
+                return run_client_task(task, task_codec, lock)
+            except ClientCrash:
+                return crashed_client_result(task)
+            finally:
+                if clones is not None:
+                    clones.put(task_codec)
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(run_client_task, task, task_codec, lock)
-                for task, task_codec in zip(tasks, codecs)
-            ]
+            futures = [pool.submit(run_one, task) for task in tasks]
             results = [future.result() for future in futures]
 
         if cloneable and results:
@@ -148,3 +245,485 @@ class ParallelExecutor:
             if last_report is not None and hasattr(codec, "last_report"):
                 codec.last_report = last_report
         return results
+
+
+# ----------------------------------------------------------------------
+# Process-parallel execution
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerContext:
+    """Everything a worker process needs to rebuild its slice of the fleet.
+
+    Inherited through ``fork`` (never pickled), so ``model_fn`` may be any
+    callable — including the test suites' lambdas.
+    """
+
+    model_fn: object
+    datasets: list
+    config: object
+    seeds: list
+    codec: object
+
+
+@dataclass
+class _ClientTaskSpec:
+    """Picklable description of one client task shipped to a worker.
+
+    Carries ids, seeds and specs instead of live objects: the worker rebuilds
+    the client from its own registry, restores the shipped RNG snapshot,
+    trains, and ships the advanced snapshot back.  The parent pre-rolled this
+    link's dropout (``dropped``) so the per-link stream stays parent-owned.
+    """
+
+    index: int
+    client_id: int
+    learning_rate: float
+    link_spec: LinkSpec
+    dropped: bool
+    client_state: dict
+    fault: Optional[ClientCrash] = None
+
+
+@dataclass
+class _WorkerTaskResult:
+    """What a worker ships back for one task (everything but link accounting,
+    which the parent replays against its own channel objects)."""
+
+    index: int
+    client_id: int
+    crashed: bool
+    client_state: dict
+    num_samples: int = 0
+    train_loss: float = 0.0
+    train_accuracy: float = 0.0
+    train_seconds: float = 0.0
+    original_nbytes: int = 0
+    payload_nbytes: int = 0
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+    report: Optional[object] = None
+    update_state: Optional[Dict[str, np.ndarray]] = None
+    received_state: Optional[Dict[str, np.ndarray]] = None
+
+
+def _execute_spec(spec: _ClientTaskSpec, registry, codec, broadcast_state):
+    """Worker-side body of one client task: train, compress, account."""
+    client = registry[spec.client_id]
+    client.restore_checkpoint_state(spec.client_state)
+    update = client.train(broadcast_state, learning_rate=spec.learning_rate)
+    original_nbytes = int(
+        sum(np.asarray(v).nbytes for v in update.state_dict.values())
+    )
+    payload_nbytes = original_nbytes
+    compress_seconds = 0.0
+    decompress_seconds = 0.0
+    report = None
+    received_state = None
+    if codec is not None:
+        start = time.perf_counter()
+        payload = codec.compress(update.state_dict)
+        compress_seconds = time.perf_counter() - start
+        report = getattr(codec, "last_report", None)
+        payload_nbytes = len(payload)
+        if not spec.dropped:
+            start = time.perf_counter()
+            received_state = codec.decompress(payload)
+            decompress_seconds = time.perf_counter() - start
+        device_profile = (
+            get_device_profile(spec.link_spec.device) if spec.link_spec.device else None
+        )
+        if device_profile is not None:
+            # Model the codec runtime on the client's hardware instead of
+            # trusting this host's measurement — same convention as
+            # :func:`repro.fl.transport.transmit_update`.
+            config = getattr(codec, "config", None)
+            if config is not None:
+                compress_seconds = device_profile.compression_seconds(
+                    config.lossy_compressor, original_nbytes, config.error_bound
+                )
+                if received_state is not None:
+                    decompress_seconds = device_profile.decompression_seconds(
+                        config.lossy_compressor, original_nbytes, config.error_bound
+                    )
+    return _WorkerTaskResult(
+        index=spec.index,
+        client_id=spec.client_id,
+        crashed=False,
+        client_state=client.checkpoint_state(),
+        num_samples=update.num_samples,
+        train_loss=update.train_loss,
+        train_accuracy=update.train_accuracy,
+        train_seconds=update.train_seconds,
+        original_nbytes=original_nbytes,
+        payload_nbytes=payload_nbytes,
+        compress_seconds=compress_seconds,
+        decompress_seconds=decompress_seconds,
+        report=report,
+        update_state=update.state_dict,
+        received_state=received_state,
+    )
+
+
+def _process_worker_main(worker_id, context, inbox, task_queue, result_queue):
+    """Worker loop: decode each round's broadcast once, then drain tasks.
+
+    One registry, one bounded model pool (a worker runs its tasks serially,
+    so one resident model suffices) and one codec clone live for the whole
+    pool lifetime.  The broadcast state is cached under its fingerprint, so a
+    repeat round (same state, same codec) skips the decode entirely; the idle
+    ack ships cumulative hit/miss counters back for the cache-behaviour
+    tests.
+    """
+    registry = ClientRegistry(
+        context.model_fn,
+        context.datasets,
+        context.config,
+        context.seeds,
+        ModelPool(context.model_fn, max_models=1),
+    )
+    codec = context.codec.clone() if context.codec is not None else None
+    cached_fingerprint = None
+    cached_state = None
+    hits = 0
+    misses = 0
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            return
+        payload = message[1]
+        if payload.fingerprint == cached_fingerprint:
+            hits += 1
+        else:
+            cached_state = payload.decode(codec)
+            cached_fingerprint = payload.fingerprint
+            misses += 1
+        while True:
+            spec = task_queue.get()
+            if spec is None:
+                break
+            try:
+                try:
+                    if spec.fault is not None:
+                        raise spec.fault
+                    result = _execute_spec(spec, registry, codec, cached_state)
+                except ClientCrash:
+                    result = _WorkerTaskResult(
+                        index=spec.index,
+                        client_id=spec.client_id,
+                        crashed=True,
+                        client_state=spec.client_state,
+                    )
+                result_queue.put(("result", result))
+            except BaseException:
+                result_queue.put(
+                    ("error", spec.index, spec.client_id, traceback.format_exc())
+                )
+        result_queue.put(("idle", worker_id, hits, misses))
+
+
+class ProcessParallelExecutor:
+    """Run clients on a persistent pool of shared-nothing worker processes.
+
+    Must be bound to a runtime (``FederatedRuntime`` does this at
+    construction) so workers can rebuild the client population from its
+    dataset partition and seeds.  Requires the ``fork`` start method (model
+    factories are arbitrary callables, inherited rather than pickled) and a
+    codec that is either ``None`` or exposes ``clone()`` — stateful codecs
+    whose streams are consumed in call order cannot run shared-nothing.
+
+    Determinism: workers only ever touch per-client streams, shipped in and
+    out as RNG snapshots; the parent pre-rolls link dropout and replays
+    channel sends in task order (see the module docstring), so results are
+    bit-identical to :class:`SerialExecutor`.
+    """
+
+    name = "process"
+    #: Ask the runtime to build the once-per-round broadcast wire buffer.
+    wants_broadcast_payload = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._context: Optional[_WorkerContext] = None
+        self._procs: list = []
+        self._inboxes: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._pool_fingerprint = None
+        #: Cumulative per-worker broadcast-cache counters from the latest
+        #: idle acks: ``{worker_id: {"hits": int, "misses": int}}``.
+        self._worker_cache_stats: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind_runtime(self, runtime) -> None:
+        """Capture what workers need to rebuild the client population."""
+        self._validate_codec(runtime.codec)
+        if self._procs:
+            self.close()  # re-bind: the old pool serves a stale fleet
+        clients = runtime.clients
+        self._context = _WorkerContext(
+            model_fn=clients._model_fn,
+            datasets=clients._datasets,
+            config=clients._config,
+            seeds=clients._seeds,
+            codec=runtime.codec,
+        )
+
+    @staticmethod
+    def _validate_codec(codec) -> None:
+        if codec is not None and not hasattr(codec, "clone"):
+            raise ValueError(
+                f"{type(codec).__name__} has no clone() and cannot run "
+                "shared-nothing: its internal streams are consumed in call "
+                "order, which worker processes cannot reproduce — use the "
+                "serial executor for this codec"
+            )
+
+    def _start_pool(self, codec) -> None:
+        if self._context is None:
+            raise RuntimeError(
+                "ProcessParallelExecutor is not bound to a runtime; construct "
+                "the FederatedRuntime with this executor (it binds "
+                "automatically) before running clients"
+            )
+        self._validate_codec(codec)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessParallelExecutor requires the 'fork' start method "
+                "(unavailable on this platform); use the thread executor"
+            )
+        ctx = multiprocessing.get_context("fork")
+        context = replace(self._context, codec=codec)
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._inboxes = [ctx.Queue() for _ in range(self.max_workers)]
+        self._procs = []
+        for worker_id, inbox in enumerate(self._inboxes):
+            proc = ctx.Process(
+                target=_process_worker_main,
+                args=(worker_id, context, inbox, self._task_queue, self._result_queue),
+                daemon=True,
+                name=f"fl-worker-{worker_id}",
+            )
+            proc.start()
+            self._procs.append(proc)
+        self._pool_fingerprint = codec_fingerprint(codec)
+        self._worker_cache_stats = {}
+
+    def close(self) -> None:
+        """Shut the worker pool down; the next round restarts it lazily."""
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in [self._task_queue, self._result_queue, *self._inboxes]:
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._procs = []
+        self._inboxes = []
+        self._task_queue = None
+        self._result_queue = None
+        self._pool_fingerprint = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def broadcast_cache_stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-worker cumulative broadcast-cache hit/miss counters."""
+        return {wid: dict(stats) for wid, stats in self._worker_cache_stats.items()}
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def run_clients(self, tasks: List[ClientTask], codec=None) -> List[ClientResult]:
+        """Dispatch tasks to the worker pool; results come back in task order."""
+        if not tasks:
+            return []
+        if self._procs and codec_fingerprint(codec) != self._pool_fingerprint:
+            # The codec was swapped mid-run; worker clones are stale.
+            self.close()
+        if not self._procs:
+            self._start_pool(codec)
+
+        payload = tasks[0].broadcast_payload
+        if payload is None:
+            # Direct use without the runtime's BroadcastCache: build the wire
+            # buffer here (still once per round — tasks share the state).
+            state = dict(tasks[0].broadcast_state)
+            payload = BroadcastPayload(
+                fingerprint=state_fingerprint(state),
+                encoding=ENCODING_ARRAYS,
+                data=serialize_named_arrays(state),
+                nbytes=int(sum(np.asarray(v).nbytes for v in state.values())),
+            )
+
+        # Pre-roll dropout in task order before dispatch: the per-link streams
+        # are parent-owned, and a crashed client dies before rolling (serial
+        # parity — run_client_task raises the fault before transmitting).
+        dropped = [
+            False if task.fault is not None else task.link.roll_dropout()
+            for task in tasks
+        ]
+        specs = [
+            _ClientTaskSpec(
+                index=index,
+                client_id=task.client.client_id,
+                learning_rate=task.learning_rate,
+                link_spec=task.link.spec,
+                dropped=dropped[index],
+                client_state=task.client.checkpoint_state(),
+                fault=task.fault,
+            )
+            for index, task in enumerate(tasks)
+        ]
+
+        for inbox in self._inboxes:
+            inbox.put(("round", payload))
+        for spec in specs:
+            self._task_queue.put(spec)
+        for _ in self._procs:
+            self._task_queue.put(None)
+
+        raw_results, errors = self._collect(len(specs))
+        if errors:
+            self.close()  # a failed round leaves the pool in an unknown state
+            details = "\n\n".join(
+                f"client {client_id} (task {index}):\n{tb}"
+                for index, client_id, tb in errors
+            )
+            raise RuntimeError(f"worker task(s) failed:\n{details}")
+
+        results = []
+        for index, task in enumerate(tasks):
+            worker_result = raw_results[index]
+            if worker_result.crashed:
+                results.append(crashed_client_result(task))
+                continue
+            results.append(self._assemble(task, worker_result, codec, dropped[index]))
+            # Ship the advanced client streams back into the parent's client,
+            # keeping checkpoints and subsequent rounds bit-identical.
+            task.client.restore_checkpoint_state(worker_result.client_state)
+
+        if codec is not None and results:
+            # Facade contract, as in ParallelExecutor: the caller's codec
+            # reports the last participant's compression.
+            last_report = results[-1].stats.report
+            if last_report is not None and hasattr(codec, "last_report"):
+                codec.last_report = last_report
+        return results
+
+    def _collect(self, expected_results: int):
+        """Drain one round's results and idle acks, watching worker liveness."""
+        raw_results: Dict[int, _WorkerTaskResult] = {}
+        errors = []
+        pending_acks = len(self._procs)
+        while len(raw_results) + len(errors) < expected_results or pending_acks:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [proc.name for proc in self._procs if not proc.is_alive()]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"worker process(es) died mid-round: {', '.join(dead)}; "
+                        "the pool was shut down and will restart on the next "
+                        "round"
+                    )
+                continue
+            kind = message[0]
+            if kind == "result":
+                raw_results[message[1].index] = message[1]
+            elif kind == "error":
+                errors.append(message[1:])
+            else:  # idle ack with cumulative cache counters
+                _, worker_id, hits, misses = message
+                self._worker_cache_stats[worker_id] = {"hits": hits, "misses": misses}
+                pending_acks -= 1
+        return raw_results, errors
+
+    def _assemble(
+        self, task: ClientTask, r: _WorkerTaskResult, codec, dropped: bool
+    ) -> ClientResult:
+        """Replay link accounting for one worker result, in task order.
+
+        ``SimulatedChannel.send`` is pure arithmetic plus a transfer-log
+        append, so replaying it here yields the exact seconds and log entries
+        the serial run produces.
+        """
+        if codec is None:
+            record = task.link.send(r.original_nbytes, description="raw client update")
+            stats = TransferStats(
+                payload_nbytes=r.original_nbytes,
+                transfer_seconds=record.seconds,
+                ratio=1.0,
+                delivered=not dropped,
+            )
+            state = None if dropped else dict(r.update_state)
+        else:
+            record = task.link.send(
+                r.payload_nbytes, description="compressed client update"
+            )
+            stats = TransferStats(
+                payload_nbytes=r.payload_nbytes,
+                transfer_seconds=record.seconds,
+                compress_seconds=r.compress_seconds,
+                decompress_seconds=r.decompress_seconds,
+                ratio=compression_ratio(r.original_nbytes, r.payload_nbytes),
+                delivered=not dropped,
+                report=r.report,
+            )
+            state = None if dropped else r.received_state
+        update = ClientUpdate(
+            client_id=r.client_id,
+            state_dict=r.update_state,
+            num_samples=r.num_samples,
+            train_loss=r.train_loss,
+            train_accuracy=r.train_accuracy,
+            train_seconds=r.train_seconds,
+        )
+        turnaround = (
+            task.downlink_seconds
+            + r.train_seconds
+            + stats.compress_seconds
+            + stats.transfer_seconds
+            + stats.decompress_seconds
+        )
+        return ClientResult(
+            client_id=r.client_id,
+            update=update,
+            state=state,
+            stats=stats,
+            turnaround_seconds=turnaround,
+        )
+
+
+def build_executor(name: str = "serial", max_workers: Optional[int] = None):
+    """Build an executor by short name (the ``FLConfig.executor`` values).
+
+    ``"thread"`` and ``"parallel"`` are synonyms — the CLI always said
+    ``parallel`` for the thread pool and older configs still do.
+    """
+    key = name.lower().replace("_", "-")
+    if key == "serial":
+        return SerialExecutor()
+    if key in ("thread", "parallel"):
+        return ParallelExecutor(max_workers=max_workers)
+    if key == "process":
+        return ProcessParallelExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor {name!r}; available: 'serial', 'thread' "
+        "(alias 'parallel'), 'process'"
+    )

@@ -104,6 +104,12 @@ class RoundRecord:
     #: slowest participant for sync, the deadline for semi-sync rounds that
     #: had to wait out a late or lost update, the last arrival for async.
     simulated_round_seconds: float = 0.0
+    #: Measured codec seconds spent preparing the round's broadcast
+    #: (``compress_downlink`` only; 0.0 on a broadcast-cache hit, when no
+    #: codec work happened).  Host-measured, so excluded from
+    #: :meth:`TrainingHistory.deterministic_rows` like every other timing.
+    broadcast_compress_seconds: float = 0.0
+    broadcast_decompress_seconds: float = 0.0
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary for tabulation."""
@@ -182,6 +188,11 @@ class TrainingHistory:
         identity baseline, or a codec swapped mid-run) contributes its
         pipeline wall rather than zero, so mixed runs never silently blend
         "measured" semantics with missing data.
+
+        Runs with ``compress_downlink`` also pay codec time preparing each
+        round's broadcast (``broadcast_compress/decompress_seconds``); that is
+        pipeline compression work like any other, so it is folded into the
+        compression component under both semantics.
         """
         if not self.records:
             return EpochTimeBreakdown()
@@ -193,6 +204,10 @@ class TrainingHistory:
             )
         else:
             compression = sum(r.compression_seconds for r in self.records)
+        compression += sum(
+            r.broadcast_compress_seconds + r.broadcast_decompress_seconds
+            for r in self.records
+        )
         return EpochTimeBreakdown(
             client_training_seconds=sum(r.train_seconds for r in self.records) / count,
             validation_seconds=sum(r.validation_seconds for r in self.records) / count,

@@ -36,9 +36,10 @@ import numpy as np
 
 from repro.data.datasets import SyntheticImageDataset
 from repro.data.partition import partition_dataset
+from repro.fl.broadcast import BroadcastCache, BroadcastPayload
 from repro.fl.client import FLClient
 from repro.fl.config import FLConfig, participant_count
-from repro.fl.executor import ClientResult, ClientTask, SerialExecutor
+from repro.fl.executor import ClientResult, ClientTask, build_executor
 from repro.fl.history import ClientRoundStat, RoundRecord, TrainingHistory
 from repro.fl.scheduler import RoundScheduler, SynchronousScheduler
 from repro.fl.server import FLServer
@@ -81,6 +82,11 @@ class DownlinkStats:
     per_client_seconds: Dict[int, float] = field(default_factory=dict)
     wallclock_seconds: float = 0.0
     aggregate_seconds: float = 0.0
+    #: Measured codec seconds spent preparing the broadcast itself (non-zero
+    #: only with ``compress_downlink`` on a cache miss): the server-side
+    #: compress and the reference decompress clients train against.
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
 
 
 @dataclass
@@ -93,6 +99,9 @@ class RoundContext:
     learning_rate: float
     downlink: DownlinkStats
     tasks: List[ClientTask] = field(default_factory=list)
+    #: The round's single wire buffer (``None`` unless the executor asked for
+    #: one via ``wants_broadcast_payload``); shared by every task.
+    broadcast_payload: Optional[BroadcastPayload] = None
 
     @property
     def downlink_bytes(self) -> int:
@@ -120,17 +129,28 @@ class FederatedRuntime:
         transport: Optional[Transport] = None,
         schedule=None,
         fault_injector=None,
+        client_faults=None,
     ) -> None:
         self.config = config or FLConfig()
         self.codec = codec
         self.scheduler = scheduler or SynchronousScheduler()
-        self.executor = executor or SerialExecutor()
+        # An explicit executor object wins; otherwise the config names one
+        # (``executor="serial"`` by default, so default runs are unchanged).
+        self.executor = executor or build_executor(
+            self.config.executor, self.config.max_workers
+        )
         #: Optional per-round availability mask (see :mod:`repro.fl.scenarios`).
         self.schedule = schedule
         #: Optional per-round failure hook (see
         #: :class:`repro.fl.scenarios.FaultInjector`); consulted by :meth:`run`
         #: after each round's checkpoint is persisted.
         self.fault_injector = fault_injector
+        #: Optional per-(round, client) fault source (see
+        #: :class:`repro.fl.scenarios.ClientCrashSchedule`): consulted while
+        #: building each round's tasks, attaching a fault to doomed clients.
+        self.client_faults = client_faults
+        #: Once-per-round broadcast preparation (see :mod:`repro.fl.broadcast`).
+        self.broadcast_cache = BroadcastCache()
 
         # Seed-derivation order matches the seed FLSimulation exactly
         # (partition, clients, sampling) so default runs are bit-compatible;
@@ -160,6 +180,22 @@ class FederatedRuntime:
             bandwidth_mbps=self.config.bandwidth_mbps
         )
         self.transport.bind(len(self.clients), seed=seeds.next_seed())
+
+        # Executors with worker processes need the client-population recipe
+        # (model factory, partition, seeds) to rebuild it on their side.
+        bind = getattr(self.executor, "bind_runtime", None)
+        if callable(bind):
+            bind(self)
+
+    def close(self) -> None:
+        """Release executor resources (worker processes); idempotent.
+
+        Serial and thread executors hold nothing and make this a no-op, so
+        callers can ``close()`` unconditionally.
+        """
+        close = getattr(self.executor, "close", None)
+        if callable(close):
+            close()
 
     def _resolve_pool_size(self, executor) -> Optional[int]:
         """Model-pool bound: explicit config, else the executor's concurrency."""
@@ -278,13 +314,14 @@ class FederatedRuntime:
         learning_rate = (
             self.config.learning_rate * self.config.learning_rate_decay**round_index
         )
-        broadcast_state, downlink = self._broadcast(participants)
+        broadcast_state, downlink, payload = self._broadcast(participants)
         context = RoundContext(
             round_index=round_index,
             participants=participants,
             broadcast_state=broadcast_state,
             learning_rate=learning_rate,
             downlink=downlink,
+            broadcast_payload=payload,
         )
         context.tasks = [
             ClientTask(
@@ -293,6 +330,12 @@ class FederatedRuntime:
                 broadcast_state=broadcast_state,
                 learning_rate=learning_rate,
                 downlink_seconds=downlink.per_client_seconds.get(client.client_id, 0.0),
+                fault=(
+                    self.client_faults.fault_for(round_index, client.client_id)
+                    if self.client_faults is not None
+                    else None
+                ),
+                broadcast_payload=payload,
             )
             for client in participants
         ]
@@ -374,6 +417,8 @@ class FederatedRuntime:
             downlink_bytes=context.downlink.total_bytes,
             downlink_seconds=context.downlink.wallclock_seconds,
             downlink_aggregate_seconds=context.downlink.aggregate_seconds,
+            broadcast_compress_seconds=context.downlink.compress_seconds,
+            broadcast_decompress_seconds=context.downlink.decompress_seconds,
             participating_clients=len(context.participants),
             client_stats=client_stats,
             dropped_clients=sum(1 for result in results if not result.delivered),
@@ -434,21 +479,29 @@ class FederatedRuntime:
         the codec to the broadcast path, in which case clients train on the
         state they actually receive (including the compression error).
 
-        Returns ``(state, DownlinkStats)``.  Independent heterogeneous links
-        broadcast in parallel, so the wall-clock is the slowest link's time;
-        a shared homogeneous channel serialises the copies (the seed
-        arithmetic), so each client's receive time is its cumulative queue
-        position and the wall-clock is the full queue.
+        All serialization and codec work goes through the
+        :class:`~repro.fl.broadcast.BroadcastCache`, so it happens **at most
+        once per round** — and not at all when nothing changed since the
+        previous round — with the codec seconds measured rather than burned
+        untimed.  The wire buffer (``payload``) is built only when the active
+        executor asks for one (``wants_broadcast_payload``).
+
+        Returns ``(state, DownlinkStats, payload_or_None)``.  Independent
+        heterogeneous links broadcast in parallel, so the wall-clock is the
+        slowest link's time; a shared homogeneous channel serialises the
+        copies (the seed arithmetic), so each client's receive time is its
+        cumulative queue position and the wall-clock is the full queue.
         """
         global_state = self.server.global_state()
-        raw_nbytes = int(sum(np.asarray(v).nbytes for v in global_state.values()))
-        if self.codec is None or not self.config.compress_downlink:
-            state = dict(global_state)
-            nbytes = raw_nbytes
-        else:
-            payload = self.codec.compress(global_state)
-            state = self.codec.decompress(payload)
-            nbytes = len(payload)
+        build_payload = bool(getattr(self.executor, "wants_broadcast_payload", False))
+        state, nbytes, payload, compress_seconds, decompress_seconds = (
+            self.broadcast_cache.round_state(
+                global_state,
+                self.codec,
+                self.config.compress_downlink,
+                build_payload=build_payload,
+            )
+        )
 
         transmission = {
             client.client_id: self.transport.downlink_seconds(nbytes, client.client_id)
@@ -474,8 +527,10 @@ class FederatedRuntime:
             per_client_seconds=per_client,
             wallclock_seconds=wallclock,
             aggregate_seconds=aggregate,
+            compress_seconds=compress_seconds,
+            decompress_seconds=decompress_seconds,
         )
-        return state, downlink
+        return state, downlink, payload
 
     @property
     def channel(self):

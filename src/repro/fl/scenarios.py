@@ -266,6 +266,53 @@ class ServerCrashSchedule(FaultInjector):
             raise SimulatedCrash(round_index)
 
 
+class ClientCrash(RuntimeError):
+    """Raised inside a client task to simulate that client dying mid-round.
+
+    Unlike :class:`SimulatedCrash` (the *server* process dying, which kills
+    the run), a client crash is a per-participant failure the round must
+    absorb: the executor converts it into a dropped update with zero payload
+    bytes (the client never transmitted), the scheduler sees one more
+    non-delivered participant, and the round completes normally.  The
+    exception is picklable — it crosses the process-executor boundary intact
+    via ``__reduce__`` — so thread and process pools surface it identically.
+    """
+
+    def __init__(self, round_index: int, client_id: int) -> None:
+        super().__init__(
+            f"simulated crash of client {client_id} during round {round_index}"
+        )
+        self.round_index = int(round_index)
+        self.client_id = int(client_id)
+
+    def __reduce__(self):
+        return (type(self), (self.round_index, self.client_id))
+
+
+class ClientCrashSchedule:
+    """Deterministic per-round client deaths: ``{round_index: [client_ids]}``.
+
+    Consulted by :meth:`repro.fl.runtime.FederatedRuntime.start_round` when
+    building client tasks; a scheduled ``(round, client)`` pair gets a
+    :class:`ClientCrash` fault attached to its task instead of running
+    training.  The crash fires every time its round executes — including on a
+    checkpoint-resume replay of that round — so crashed runs stay
+    bit-identical to uninterrupted ones.
+    """
+
+    def __init__(self, crashes: Dict[int, Sequence[int]]) -> None:
+        self._crashes = {
+            int(round_index): frozenset(int(cid) for cid in client_ids)
+            for round_index, client_ids in crashes.items()
+        }
+
+    def fault_for(self, round_index: int, client_id: int) -> Optional[ClientCrash]:
+        """The fault to inject for this (round, client), or ``None``."""
+        if client_id in self._crashes.get(round_index, frozenset()):
+            return ClientCrash(round_index, client_id)
+        return None
+
+
 # ----------------------------------------------------------------------
 # Scenario presets
 # ----------------------------------------------------------------------
@@ -456,6 +503,8 @@ __all__ = [
     "FaultInjector",
     "ServerCrashSchedule",
     "SimulatedCrash",
+    "ClientCrash",
+    "ClientCrashSchedule",
     "FleetScenario",
     "build_schedule",
     "available_scenarios",

@@ -141,6 +141,11 @@ class FLSimulation:
         """
         return self.runtime.run(rounds, **run_kwargs)
 
+    def close(self) -> None:
+        """Release executor resources (worker processes); idempotent no-op
+        for the serial and thread executors."""
+        self.runtime.close()
+
     def run_round(self) -> RoundRecord:
         """Execute one round under the configured scheduler."""
         return self.runtime.run_round()

@@ -27,6 +27,7 @@ from repro.fl import (
     FLConfig,
     LinkSpec,
     ParallelExecutor,
+    ProcessParallelExecutor,
     SerialExecutor,
     ServerCrashSchedule,
     SimulatedCrash,
@@ -47,9 +48,12 @@ def data():
 
 def _build_runtime(data, executor_name: str) -> FederatedRuntime:
     train, val = data
-    executor = (
-        ParallelExecutor(max_workers=2) if executor_name == "parallel" else SerialExecutor()
-    )
+    if executor_name == "parallel":
+        executor = ParallelExecutor(max_workers=2)
+    elif executor_name == "process":
+        executor = ProcessParallelExecutor(max_workers=2)
+    else:
+        executor = SerialExecutor()
     return FederatedRuntime(
         lambda: create_model("mobilenetv2", "tiny", num_classes=10, seed=9),
         train,
@@ -84,31 +88,39 @@ def _assert_states_identical(reference, resumed):
         assert reference_state[name].dtype == resumed_state[name].dtype
 
 
-@pytest.mark.parametrize("executor_name", ["serial", "parallel"])
+@pytest.mark.parametrize("executor_name", ["serial", "parallel", "process"])
 def test_kill_after_round_k_resume_is_bit_identical(data, tmp_path, executor_name):
     reference = _build_runtime(data, executor_name)
-    reference.run()
-    assert len(reference.history) == ROUNDS
+    crashed = resumed = None
+    try:
+        reference.run()
+        assert len(reference.history) == ROUNDS
 
-    crashed = _build_runtime(data, executor_name)
-    with pytest.raises(SimulatedCrash):
-        crashed.run(
-            checkpoint_dir=tmp_path,
-            checkpoint_every=1,
-            fault_injector=ServerCrashSchedule(CRASH_AFTER),
-        )
-    assert len(crashed.history) == CRASH_AFTER + 1  # progress died with the process
+        crashed = _build_runtime(data, executor_name)
+        with pytest.raises(SimulatedCrash):
+            crashed.run(
+                checkpoint_dir=tmp_path,
+                checkpoint_every=1,
+                fault_injector=ServerCrashSchedule(CRASH_AFTER),
+            )
+        assert len(crashed.history) == CRASH_AFTER + 1  # progress died with the process
 
-    resumed = _build_runtime(data, executor_name)
-    history = resumed.run(checkpoint_dir=tmp_path, resume=True)
+        resumed = _build_runtime(data, executor_name)
+        history = resumed.run(checkpoint_dir=tmp_path, resume=True)
 
-    assert len(history) == ROUNDS
-    _assert_states_identical(reference, resumed)
-    assert history.deterministic_rows() == reference.history.deterministic_rows()
-    # The restored prefix carries the crashed process's measured timings
-    # verbatim — resume does not re-execute already-persisted rounds.
-    for restored, original in zip(history.records[: CRASH_AFTER + 1], crashed.history.records):
-        assert restored == original
+        assert len(history) == ROUNDS
+        _assert_states_identical(reference, resumed)
+        assert history.deterministic_rows() == reference.history.deterministic_rows()
+        # The restored prefix carries the crashed process's measured timings
+        # verbatim — resume does not re-execute already-persisted rounds.
+        for restored, original in zip(
+            history.records[: CRASH_AFTER + 1], crashed.history.records
+        ):
+            assert restored == original
+    finally:
+        for runtime in (reference, crashed, resumed):
+            if runtime is not None:
+                runtime.close()
 
 
 def test_resume_from_sparse_checkpoints_replays_unpersisted_rounds(data, tmp_path):
