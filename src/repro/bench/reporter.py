@@ -115,6 +115,25 @@ def render_report(report: Dict[str, Any]) -> str:
     return header + "\n" + render_table(rows)
 
 
+def metric_summary(metric: Dict[str, Any]) -> str:
+    """Compact one-line description of a metric's derived numbers.
+
+    Used wherever a BENCH metric is shown outside its own table — the
+    error-analysis report's measurements section, log lines — so throughput
+    and phase breakdowns render the same everywhere.  Deterministic: fields
+    appear in a fixed order with fixed formatting.
+    """
+    parts = []
+    if metric.get("items_per_second") is not None:
+        parts.append(f"{metric['items_per_second']:.4g} items/s")
+    if metric.get("mb_per_second") is not None:
+        parts.append(f"{metric['mb_per_second']:.4g} MB/s")
+    phases = metric.get("phases") or {}
+    if phases:
+        parts.append(", ".join(f"{name}={seconds:.4f}s" for name, seconds in phases.items()))
+    return "; ".join(parts)
+
+
 def default_output_path(workload: str) -> Path:
     """Conventional output filename for one workload."""
     return Path(f"BENCH_{workload}.json")

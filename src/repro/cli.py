@@ -13,9 +13,14 @@ Usage::
     python -m repro.cli fl --parallel-tensors --codec-workers 4
     python -m repro.cli fl --scenario unreliable-server --checkpoint-dir ckpts
     python -m repro.cli fl --scenario unreliable-server --checkpoint-dir ckpts --resume
+    python -m repro.cli fl --monitor-port 8700 --history-out history.json
     python -m repro.cli bench list
     python -m repro.cli bench --workload tiny --out BENCH_tiny.json
     python -m repro.cli bench compare benchmarks/baselines/tiny.json BENCH_tiny.json
+    python -m repro.cli bench compare base_a.json cur_a.json base_b.json cur_b.json \
+        --report-out diagnosis.md
+    python -m repro.cli report --history history.json --bench BENCH_tiny.json \
+        --out report.md
 
 ``run`` regenerates one of the paper's tables/figures (``--quick`` shrinks
 the workload so a full sweep completes in a few minutes).  ``fl`` drives the
@@ -24,8 +29,12 @@ layered federated runtime directly: pick a round scheduler (sync / semi-sync
 heterogeneous edge fleet with injected stragglers and dropout).  ``bench``
 runs the performance workloads from :mod:`repro.bench`, writes a
 schema-versioned ``BENCH_<workload>.json`` and, in ``compare`` mode, diffs
-two BENCH files and exits nonzero when a metric regressed past the
-tolerance.
+one or more baseline/current BENCH pairs, prints every failing metric across
+all of them in one combined summary and exits nonzero when any metric
+regressed past the tolerance.  ``report`` renders the deterministic post-run
+error-analysis markdown from a saved history (``fl --history-out``) and/or
+BENCH files; ``fl --monitor-port`` serves a live status dashboard while the
+simulation runs.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro import experiments
 from repro.experiments.reporting import ExperimentResult
@@ -111,6 +120,7 @@ def run_fl(
     checkpoint_dir: Optional[Path] = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    monitor=None,
 ):
     """Run one federated simulation through the layered runtime.
 
@@ -124,8 +134,10 @@ def run_fl(
     ``checkpoint_dir`` makes the run crash-safe (a snapshot is written after
     every ``checkpoint_every``-th round); ``resume=True`` restores the latest
     snapshot from that directory before running, completing an interrupted
-    run bit-identically.  Returns the :class:`~repro.fl.TrainingHistory`; the
-    CLI prints its rows.
+    run bit-identically.  ``monitor`` attaches a
+    :class:`~repro.obs.RunMonitor` to the runtime (strictly passive — the
+    simulated outcome is bit-identical with or without it).  Returns the
+    :class:`~repro.fl.TrainingHistory`; the CLI prints its rows.
     """
     from repro.core import FedSZCompressor
     from repro.experiments.workloads import build_federated_setup
@@ -215,6 +227,7 @@ def run_fl(
             weight_decay=setup.config.weight_decay,
             bandwidth_mbps=setup.config.bandwidth_mbps,
             eval_batch_size=setup.config.eval_batch_size,
+            monitor=monitor,
         )
         try:
             return runtime.run(**run_kwargs)
@@ -251,6 +264,7 @@ def run_fl(
         scheduler=get_scheduler(scheduler, **scheduler_kwargs),
         executor=build_executor(executor, workers),
         transport=transport,
+        monitor=monitor,
     )
     try:
         return simulation.run(**run_kwargs)
@@ -259,6 +273,22 @@ def run_fl(
 
 
 def _run_fl_from_args(arguments) -> "object":
+    monitor = None
+    server = None
+    if arguments.monitor_port is not None:
+        from repro.obs import MonitorServer, RunMonitor
+
+        monitor = RunMonitor()
+        server = MonitorServer(monitor, port=arguments.monitor_port).start()
+        print(f"monitor: {server.url}/ (JSON at {server.url}/api/status)")
+    try:
+        return _call_run_fl(arguments, monitor)
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def _call_run_fl(arguments, monitor) -> "object":
     return run_fl(
         model=arguments.model,
         dataset=arguments.dataset,
@@ -283,6 +313,7 @@ def _run_fl_from_args(arguments) -> "object":
         checkpoint_dir=arguments.checkpoint_dir,
         checkpoint_every=arguments.checkpoint_every,
         resume=arguments.resume,
+        monitor=monitor,
     )
 
 
@@ -391,18 +422,25 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the interrupted run bit-identically")
     fl_parser.add_argument("--per-client", action="store_true",
                            help="also print per-client round stats")
+    fl_parser.add_argument("--monitor-port", type=int, default=None,
+                           help="serve a live status dashboard + JSON API on "
+                                "this port while the run executes (0 picks an "
+                                "ephemeral port; the URL is printed)")
+    fl_parser.add_argument("--history-out", type=Path, default=None,
+                           help="write the full training history as schema-"
+                                "tagged JSON (input for 'repro.cli report')")
 
     bench_parser = subparsers.add_parser(
         "bench", help="run performance benchmarks / compare BENCH JSON files"
     )
     bench_parser.add_argument(
         "mode", nargs="?", default="run", choices=["run", "compare", "list"],
-        help="'run' (default) times a workload, 'compare' diffs two BENCH "
-             "files, 'list' shows available workloads",
+        help="'run' (default) times a workload, 'compare' diffs baseline/"
+             "current BENCH pairs, 'list' shows available workloads",
     )
     bench_parser.add_argument(
         "paths", nargs="*", type=Path,
-        help="compare mode: <baseline.json> <current.json>",
+        help="compare mode: one or more <baseline.json> <current.json> pairs",
     )
     bench_parser.add_argument("--workload", default="tiny",
                               help="workload name (see 'bench list')")
@@ -421,6 +459,27 @@ def build_parser() -> argparse.ArgumentParser:
                               help="compare mode: divide ratios by their median to "
                                    "cancel overall machine-speed differences "
                                    "(for gating CI runs against a dev-machine baseline)")
+    bench_parser.add_argument("--report-out", type=Path, default=None,
+                              help="compare mode: write a markdown gate diagnosis "
+                                   "here (written before the nonzero exit, so a "
+                                   "failed gate still produces its artifact)")
+    bench_parser.add_argument("--history", type=Path, default=None,
+                              help="compare mode: training-history JSON (from "
+                                   "'fl --history-out') to fold into the "
+                                   "--report-out diagnosis")
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a post-run error-analysis markdown report"
+    )
+    report_parser.add_argument("--history", type=Path, default=None,
+                               help="training-history JSON written by "
+                                    "'fl --history-out'")
+    report_parser.add_argument("--bench", type=Path, action="append", default=[],
+                               help="BENCH JSON file to include (repeatable)")
+    report_parser.add_argument("--out", type=Path, default=None,
+                               help="write the markdown here instead of stdout")
+    report_parser.add_argument("--title", default="Run error-analysis report",
+                               help="report heading")
     return parser
 
 
@@ -442,25 +501,7 @@ def _run_bench(arguments) -> int:
         return 0
 
     if arguments.mode == "compare":
-        if len(arguments.paths) != 2:
-            print("bench compare needs exactly two paths: <baseline.json> <current.json>",
-                  file=sys.stderr)
-            return 2
-        try:
-            baseline = load_report(arguments.paths[0])
-            current = load_report(arguments.paths[1])
-            result = compare_reports(
-                baseline,
-                current,
-                tolerance=arguments.tolerance,
-                min_seconds=arguments.min_seconds,
-                normalize=arguments.normalize,
-            )
-        except (OSError, ValueError, KeyError) as error:
-            print(error, file=sys.stderr)
-            return 2
-        print(result.render())
-        return 0 if result.ok else 1
+        return _run_bench_compare(arguments, load_report, compare_reports)
 
     try:
         records = run_workload(
@@ -482,6 +523,114 @@ def _run_bench(arguments) -> int:
     return 0
 
 
+def _run_bench_compare(arguments, load_report, compare_reports) -> int:
+    """Diff every baseline/current pair, then report all failures at once.
+
+    A CI gate that stops at the first failing workload forces a fix-rerun-fix
+    loop; this runs every comparison, prints one combined failure summary and
+    — when ``--report-out`` is set — writes the markdown diagnosis *before*
+    exiting nonzero, so a red gate always ships its explanation.
+    """
+    paths = arguments.paths
+    if len(paths) < 2 or len(paths) % 2 != 0:
+        print(
+            "bench compare needs baseline/current path pairs: "
+            "<baseline.json> <current.json> [<baseline2.json> <current2.json> ...]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        results = [
+            compare_reports(
+                load_report(baseline_path),
+                load_report(current_path),
+                tolerance=arguments.tolerance,
+                min_seconds=arguments.min_seconds,
+                normalize=arguments.normalize,
+            )
+            for baseline_path, current_path in zip(paths[0::2], paths[1::2])
+        ]
+    except (OSError, ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    for result in results:
+        print(result.render())
+        print()
+
+    failing = [result for result in results if not result.ok]
+    if failing:
+        total = sum(len(result.failures) for result in failing)
+        print(
+            f"bench compare: {total} failing metric(s) across "
+            f"{len(failing)} of {len(results)} workload(s):"
+        )
+        for result in failing:
+            for comparison in result.failures:
+                if comparison.status == "missing":
+                    print(f"  {result.workload}/{comparison.name}: missing from current run")
+                else:
+                    print(
+                        f"  {result.workload}/{comparison.name}: "
+                        f"{comparison.ratio:.2f}x over baseline "
+                        f"(tolerance {result.tolerance:g}x)"
+                    )
+    else:
+        print(f"bench compare: all {len(results)} workload(s) within tolerance")
+
+    if arguments.report_out is not None:
+        from repro.obs.report import build_bench_diagnosis, build_error_analysis
+
+        if arguments.history is not None:
+            from repro.fl.history import TrainingHistory
+
+            try:
+                history = TrainingHistory.load(arguments.history)
+            except (OSError, ValueError) as error:
+                print(error, file=sys.stderr)
+                return 2
+            text = build_error_analysis(
+                history=history,
+                bench_comparisons=results,
+                title="Bench gate diagnosis",
+            )
+        else:
+            text = build_bench_diagnosis(results)
+        arguments.report_out.parent.mkdir(parents=True, exist_ok=True)
+        arguments.report_out.write_text(text, encoding="utf-8")
+        print(f"wrote {arguments.report_out}")
+    return 0 if not failing else 1
+
+
+def _run_report(arguments) -> int:
+    from repro.bench import load_report
+    from repro.fl.history import TrainingHistory
+    from repro.obs.report import build_error_analysis
+
+    if arguments.history is None and not arguments.bench:
+        print("report needs --history and/or at least one --bench file", file=sys.stderr)
+        return 2
+    try:
+        history = (
+            TrainingHistory.load(arguments.history) if arguments.history is not None else None
+        )
+        bench_reports = [load_report(path) for path in arguments.bench]
+    except (OSError, ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    text = build_error_analysis(
+        history=history,
+        bench_reports=bench_reports or None,
+        title=arguments.title,
+    )
+    if arguments.out is None:
+        print(text, end="")
+    else:
+        arguments.out.parent.mkdir(parents=True, exist_ok=True)
+        arguments.out.write_text(text, encoding="utf-8")
+        print(f"wrote {arguments.out}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = build_parser().parse_args(argv)
@@ -492,6 +641,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if arguments.command == "bench":
         return _run_bench(arguments)
+
+    if arguments.command == "report":
+        return _run_report(arguments)
 
     if arguments.command == "fl":
         from repro.fl.checkpoint import CheckpointError
@@ -517,6 +669,9 @@ def main(argv: Optional[list] = None) -> int:
         except (CheckpointError, ValueError) as error:
             print(error, file=sys.stderr)
             return 2
+        if arguments.history_out is not None:
+            history.save(arguments.history_out)
+            print(f"wrote {arguments.history_out}")
         _print_fl_history(history, per_client=arguments.per_client)
         return 0
 

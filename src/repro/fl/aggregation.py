@@ -9,7 +9,7 @@ PyTorch-based FL frameworks do in practice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 

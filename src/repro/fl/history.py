@@ -7,6 +7,10 @@ from typing import Dict, List
 
 from repro.network.timing import EpochTimeBreakdown
 
+#: Schema tag of the standalone history files written by :meth:`TrainingHistory.save`.
+HISTORY_SCHEMA = "repro.history"
+HISTORY_SCHEMA_VERSION = 1
+
 
 @dataclass
 class ClientRoundStat:
@@ -45,6 +49,12 @@ class ClientRoundStat:
     aggregated: bool = True
     staleness: int = 0
     weight: float = 0.0
+    #: Fraction of the round's error bound this client's delivered update
+    #: actually consumed, at its worst tensor: ``max_abs_error /
+    #: resolved_bound`` maximised over the lossy tensors.  1.0 means the
+    #: reconstruction error touched the bound; 0.0 means no codec ran (or the
+    #: update was never delivered, so there was nothing to measure).
+    bound_utilization: float = 0.0
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary for tabulation."""
@@ -110,6 +120,26 @@ class RoundRecord:
     #: :meth:`TrainingHistory.deterministic_rows` like every other timing.
     broadcast_compress_seconds: float = 0.0
     broadcast_decompress_seconds: float = 0.0
+    #: Error bound the uplink codec enforced this round (0.0 when the run is
+    #: uncompressed or the codec does not expose one).  Adaptive codecs make
+    #: this a per-round trajectory, which is what the observability report
+    #: mines for controller thrash.
+    error_bound: float = 0.0
+    #: ``"ABS"`` / ``"REL"`` / ``""`` — how :attr:`error_bound` resolves
+    #: against each tensor (relative bounds scale by the tensor's value range).
+    error_bound_mode: str = ""
+    #: Per-tensor bound utilization, maximised over this round's delivered
+    #: clients: ``max_abs_error / resolved_bound`` for every lossy tensor.
+    #: Values near 1.0 are near-violations; the error-analysis report ranks
+    #: rounds and tensors by them.  Empty when no codec ran.
+    tensor_bound_utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_bound_utilization(self) -> float:
+        """Worst bound utilization across this round's tensors (0.0 = untracked)."""
+        if not self.tensor_bound_utilization:
+            return 0.0
+        return max(self.tensor_bound_utilization.values())
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary for tabulation."""
@@ -307,6 +337,42 @@ class TrainingHistory:
                 }
             )
         return rows
+
+    # ------------------------------------------------------------------
+    # File persistence — used by ``fl --history-out`` and ``repro.cli report``
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the full history as a schema-tagged JSON document."""
+        import json
+        from pathlib import Path
+
+        document = {
+            "schema": HISTORY_SCHEMA,
+            "schema_version": HISTORY_SCHEMA_VERSION,
+            "records": self.serialize(),
+        }
+        Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "TrainingHistory":
+        """Inverse of :meth:`save`; raises ``ValueError`` on a foreign file."""
+        import json
+        from pathlib import Path
+
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path} is not a training-history file "
+                f"(schema={document.get('schema') if isinstance(document, dict) else None!r}, "
+                f"expected {HISTORY_SCHEMA!r})"
+            )
+        version = document.get("schema_version")
+        if version != HISTORY_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported history schema_version {version!r}; this reader "
+                f"handles {HISTORY_SCHEMA_VERSION}"
+            )
+        return cls.deserialize(document.get("records", []))
 
     def client_rows(self) -> List[Dict[str, float]]:
         """Per-client per-round stats flattened for tabulation."""

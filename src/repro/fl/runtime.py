@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.compression.base import ErrorBoundMode, resolve_error_bound
 from repro.data.datasets import SyntheticImageDataset
 from repro.data.partition import partition_dataset
 from repro.fl.broadcast import BroadcastCache, BroadcastPayload
@@ -62,6 +63,59 @@ def _measured_codec_seconds(stats) -> float:
     if not per_tensor:
         return 0.0
     return float(sum(per_tensor.values()))
+
+
+def _codec_error_bound(codec) -> tuple:
+    """The ``(bound, mode)`` the uplink codec enforces, or ``(0.0, "")``.
+
+    Adaptive codecs expose the bound the *next* compress call will use as
+    ``current_bound`` (always REL — they re-target a REL-mode FedSZ config);
+    static codecs carry it on their dataclass ``config``.  Codecs without
+    either (identity baseline, custom codecs) are simply untracked.
+    """
+    if codec is None:
+        return 0.0, ""
+    bound = getattr(codec, "current_bound", None)
+    if bound is not None:
+        return float(bound), ErrorBoundMode.REL.name
+    config = getattr(codec, "config", None)
+    bound = getattr(config, "error_bound", None)
+    if bound is None:
+        return 0.0, ""
+    mode = getattr(config, "error_bound_mode", ErrorBoundMode.REL)
+    return float(bound), getattr(mode, "name", str(mode))
+
+
+def _bound_utilization(result, bound: float, mode: str) -> Dict[str, float]:
+    """Per-tensor fraction of the error bound one delivered update consumed.
+
+    ``max|original - reconstructed| / resolved_bound`` for every lossy tensor
+    (the codec report names them via ``per_tensor_ratio``; codecs without a
+    report fall back to every tensor).  Pure arithmetic over states every
+    executor already ships back, so tracking perturbs no RNG stream and the
+    values are bit-identical across serial/thread/process runs.
+    """
+    report = getattr(result.stats, "report", None)
+    lossy_names = getattr(report, "per_tensor_ratio", None)
+    original = result.update.state_dict
+    received = result.state
+    names = lossy_names if lossy_names else original
+    mode_enum = ErrorBoundMode.ABS if mode == "ABS" else ErrorBoundMode.REL
+    utilization: Dict[str, float] = {}
+    for name in names:
+        if name not in original or name not in received:
+            continue
+        a = np.asarray(original[name])
+        b = np.asarray(received[name])
+        if a.shape != b.shape or a.size == 0:
+            continue
+        error = float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+        resolved = resolve_error_bound(a, bound, mode_enum)
+        if resolved > 0.0:
+            utilization[name] = error / resolved
+        else:  # zero-range tensor under a REL bound: exact or infinitely over
+            utilization[name] = 0.0 if error == 0.0 else float("inf")
+    return utilization
 
 
 @dataclass
@@ -130,6 +184,7 @@ class FederatedRuntime:
         schedule=None,
         fault_injector=None,
         client_faults=None,
+        monitor=None,
     ) -> None:
         self.config = config or FLConfig()
         self.codec = codec
@@ -151,6 +206,11 @@ class FederatedRuntime:
         self.client_faults = client_faults
         #: Once-per-round broadcast preparation (see :mod:`repro.fl.broadcast`).
         self.broadcast_cache = BroadcastCache()
+        #: Optional :class:`repro.obs.RunMonitor`.  Strictly passive — it only
+        #: ever *reads* completed round records and counters, never touches an
+        #: RNG stream — so a monitored run is bit-identical to an unmonitored
+        #: one (asserted in ``tests/obs/test_monitor_server.py``).
+        self.monitor = monitor
 
         # Seed-derivation order matches the seed FLSimulation exactly
         # (partition, clients, sampling) so default runs are bit-compatible;
@@ -244,6 +304,7 @@ class FederatedRuntime:
             raise ValueError(f"checkpoint_every must be at least 1, got {checkpoint_every}")
         injector = fault_injector if fault_injector is not None else self.fault_injector
         directory = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        monitor = self.monitor
 
         if resume:
             from repro.fl.checkpoint import (
@@ -273,31 +334,44 @@ class FederatedRuntime:
                 rounds if rounds is not None else self.config.rounds
             )
 
-        while len(self.history) < target:
-            self.run_round()
-            completed = len(self.history)
-            if directory is not None and (
-                completed % checkpoint_every == 0 or completed >= target
-            ):
-                from repro.fl.checkpoint import capture_runtime, write_checkpoint
+        if monitor is not None:
+            monitor.run_started(self, target_rounds=target)
+        try:
+            while len(self.history) < target:
+                self.run_round()
+                completed = len(self.history)
+                if directory is not None and (
+                    completed % checkpoint_every == 0 or completed >= target
+                ):
+                    from repro.fl.checkpoint import capture_runtime, write_checkpoint
 
-                write_checkpoint(
-                    capture_runtime(self), directory, keep_last=keep_checkpoints
-                )
-            if injector is not None:
-                try:
-                    injector.after_round(completed - 1)
-                except BaseException as fault:
-                    # Leave a durable trace of the simulated failure so a
-                    # resumed process knows this one-shot event already fired
-                    # (real crashes need no such bookkeeping — only simulated
-                    # ones are re-executable).
-                    round_index = getattr(fault, "round_index", None)
-                    if directory is not None and round_index is not None:
-                        from repro.fl.checkpoint import record_crash_marker
+                    path = write_checkpoint(
+                        capture_runtime(self), directory, keep_last=keep_checkpoints
+                    )
+                    if monitor is not None:
+                        monitor.checkpoint_written(completed - 1, path)
+                if injector is not None:
+                    try:
+                        injector.after_round(completed - 1)
+                    except BaseException as fault:
+                        # Leave a durable trace of the simulated failure so a
+                        # resumed process knows this one-shot event already fired
+                        # (real crashes need no such bookkeeping — only simulated
+                        # ones are re-executable).
+                        round_index = getattr(fault, "round_index", None)
+                        if directory is not None and round_index is not None:
+                            from repro.fl.checkpoint import record_crash_marker
 
-                        record_crash_marker(directory, round_index)
-                    raise
+                            record_crash_marker(directory, round_index)
+                        if monitor is not None:
+                            monitor.fault_injected(completed - 1, fault)
+                        raise
+        except BaseException as error:
+            if monitor is not None:
+                monitor.run_finished(status="crashed", error=error)
+            raise
+        if monitor is not None:
+            monitor.run_finished(status="completed")
         return self.history
 
     def run_round(self) -> RoundRecord:
@@ -359,6 +433,22 @@ class FederatedRuntime:
         client_weights = client_weights or {}
         client_staleness = client_staleness or {}
 
+        # Bound-pressure accounting: how much of the codec's error bound each
+        # delivered update actually consumed, per tensor.  Feeds the
+        # observability layer's near-violation ranking (repro.obs.report).
+        error_bound, bound_mode = _codec_error_bound(self.codec)
+        client_utilization: Dict[int, float] = {}
+        tensor_utilization: Dict[str, float] = {}
+        if self.codec is not None and error_bound > 0.0:
+            for result in results:
+                if not result.delivered or not result.update.state_dict:
+                    continue
+                per_tensor = _bound_utilization(result, error_bound, bound_mode)
+                if per_tensor:
+                    client_utilization[result.client_id] = max(per_tensor.values())
+                for name, value in per_tensor.items():
+                    tensor_utilization[name] = max(tensor_utilization.get(name, 0.0), value)
+
         client_stats = [
             ClientRoundStat(
                 client_id=result.client_id,
@@ -380,6 +470,7 @@ class FederatedRuntime:
                 aggregated=result.client_id in aggregated_ids,
                 staleness=client_staleness.get(result.client_id, 0),
                 weight=client_weights.get(result.client_id, 0.0),
+                bound_utilization=client_utilization.get(result.client_id, 0.0),
             )
             for result in results
         ]
@@ -428,8 +519,13 @@ class FederatedRuntime:
                 if result.delivered and result.client_id not in aggregated_ids
             ),
             simulated_round_seconds=float(round_seconds),
+            error_bound=error_bound,
+            error_bound_mode=bound_mode,
+            tensor_bound_utilization=tensor_utilization,
         )
         self.history.add(record)
+        if self.monitor is not None:
+            self.monitor.round_completed(record, runtime=self)
         return record
 
     # ------------------------------------------------------------------

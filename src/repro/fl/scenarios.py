@@ -473,6 +473,7 @@ def build_fleet_runtime(
     codec=None,
     executor=None,
     seed: int = 0,
+    monitor=None,
     **config_overrides,
 ):
     """Build a :class:`FederatedRuntime` from a scenario (name or instance)."""
@@ -492,6 +493,7 @@ def build_fleet_runtime(
         transport=transport,
         schedule=schedule,
         fault_injector=scenario.build_fault_injector(),
+        monitor=monitor,
     )
 
 

@@ -64,6 +64,7 @@ class FLSimulation:
         executor=None,
         transport: Optional[Transport] = None,
         schedule=None,
+        monitor=None,
     ) -> None:
         if transport is None:
             effective = config or FLConfig()
@@ -82,6 +83,7 @@ class FLSimulation:
             executor=executor,
             transport=transport,
             schedule=schedule,
+            monitor=monitor,
         )
 
     # ------------------------------------------------------------------

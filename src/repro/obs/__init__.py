@@ -1,0 +1,34 @@
+"""Observability layer: live run monitoring and post-run error analysis.
+
+Three pieces, deliberately decoupled from the simulation they observe:
+
+* :class:`RunMonitor` (:mod:`repro.obs.monitor`) — a thread-safe in-process
+  event bus that :class:`repro.fl.runtime.FederatedRuntime` feeds per-round
+  events (progress, per-client straggler/drop stats, codec ratio and
+  error-bound trajectories, broadcast-cache hit rates, checkpoint age).  It
+  is strictly passive: it reads completed records and counters and never
+  touches an RNG stream, so a monitored run is bit-identical to an
+  unmonitored one.
+* :class:`MonitorServer` (:mod:`repro.obs.server`) — a stdlib-only HTTP
+  status endpoint plus a minimal HTML dashboard over a live monitor
+  (``python -m repro.cli fl --monitor-port 8700``).  Routes live in
+  :mod:`repro.obs.routes`, snapshot shaping in :mod:`repro.obs.services`.
+* :func:`build_error_analysis` (:mod:`repro.obs.report`) — a deterministic
+  post-run markdown report over a :class:`~repro.fl.history.TrainingHistory`
+  (plus optional BENCH JSONs and gate comparisons): rounds/tensors where the
+  error bound was nearly violated, adaptive-controller thrash, the worst
+  clients/links, and the fault/checkpoint timeline.  CI attaches it to every
+  bench run so a failed gate arrives with a diagnosis, not a bare number.
+"""
+
+from repro.obs.monitor import MonitorEvent, RunMonitor
+from repro.obs.report import build_bench_diagnosis, build_error_analysis
+from repro.obs.server import MonitorServer
+
+__all__ = [
+    "MonitorEvent",
+    "RunMonitor",
+    "MonitorServer",
+    "build_bench_diagnosis",
+    "build_error_analysis",
+]

@@ -1,0 +1,26 @@
+"""Path → service mapping for the monitor HTTP endpoint.
+
+A route handler is ``f(monitor) -> JSON-compatible dict``.  The server looks
+paths up here so adding an API surface never means touching HTTP plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.obs.services import (
+    clients_payload,
+    health_payload,
+    rounds_payload,
+    status_payload,
+)
+
+#: JSON API routes served by :class:`repro.obs.server.MonitorServer`.
+ROUTES: Dict[str, Callable[[object], Dict[str, object]]] = {
+    "/api/status": status_payload,
+    "/api/rounds": rounds_payload,
+    "/api/clients": clients_payload,
+    "/api/health": health_payload,
+}
+
+__all__ = ["ROUTES"]

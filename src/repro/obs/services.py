@@ -1,0 +1,64 @@
+"""Snapshot-shaping services behind the monitor HTTP routes.
+
+Each service takes the :class:`~repro.obs.monitor.RunMonitor` and returns the
+JSON-compatible payload one route serves.  Keeping the shaping here (and the
+path → service mapping in :mod:`repro.obs.routes`) leaves
+:mod:`repro.obs.server` as pure HTTP plumbing — the app/routes/services split
+of a conventional dashboard service, scaled down to the stdlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def status_payload(monitor) -> Dict[str, object]:
+    """The full live snapshot — everything the dashboard renders."""
+    return monitor.snapshot()
+
+
+def rounds_payload(monitor) -> Dict[str, object]:
+    """Per-round progress rows plus the codec trajectories."""
+    snapshot = monitor.snapshot()
+    return {
+        "status": snapshot["status"],
+        "progress": snapshot["progress"],
+        "rounds": snapshot["rounds"],
+        "codec": snapshot["codec"],
+    }
+
+
+def clients_payload(monitor) -> Dict[str, object]:
+    """Per-client aggregates, worst offenders first.
+
+    Ranking is (drops, stragglers, max turnaround) descending — the same
+    ordering the post-run error-analysis report uses for its "worst clients"
+    section, so the live view and the artifact agree on who is misbehaving.
+    """
+    snapshot = monitor.snapshot()
+    clients: List[Dict[str, object]] = list(snapshot["clients"])
+    clients.sort(
+        key=lambda c: (
+            -int(c["dropped"]),
+            -int(c["stragglers"]),
+            -float(c["max_turnaround_seconds"]),
+            int(c["client_id"]),
+        )
+    )
+    for client in clients:
+        rounds = max(1, int(client["rounds"]))
+        client["mean_turnaround_seconds"] = float(client["total_turnaround_seconds"]) / rounds
+    return {"status": snapshot["status"], "clients": clients}
+
+
+def health_payload(monitor) -> Dict[str, object]:
+    """Liveness probe: cheap, allocation-light, always 200."""
+    snapshot = monitor.snapshot()
+    return {
+        "ok": True,
+        "status": snapshot["status"],
+        "rounds_completed": snapshot["progress"]["rounds_completed"],
+    }
+
+
+__all__ = ["status_payload", "rounds_payload", "clients_payload", "health_payload"]

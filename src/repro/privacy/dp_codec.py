@@ -17,7 +17,7 @@ the mechanism, so the formal guarantee is unaffected by it (post-processing).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 import numpy as np
 

@@ -114,7 +114,7 @@ def test_cli_compare_exit_codes(tmp_path, capsys):
 
 def test_cli_compare_usage_errors(tmp_path, capsys):
     assert main(["bench", "compare", "only-one.json"]) == 2
-    assert "exactly two paths" in capsys.readouterr().err
+    assert "baseline/current path pairs" in capsys.readouterr().err
     missing = tmp_path / "missing.json"
     present = tmp_path / "present.json"
     present.write_text(json.dumps(_report(m=0.1)))

@@ -17,7 +17,6 @@ from repro.fl import FederatedRuntime, FLConfig, LinkSpec, Transport
 from repro.fl.checkpoint import (
     CHECKPOINT_MAGIC,
     CheckpointError,
-    RunCheckpoint,
     capture_runtime,
     checkpoint_path,
     latest_checkpoint,

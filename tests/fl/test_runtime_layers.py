@@ -202,7 +202,7 @@ def test_parallel_executor_validation():
 def test_sync_scheduler_matches_seed_reference_loop(data, model_fn):
     """The layered runtime's default round is numerically the seed loop:
     broadcast, sequential local training, uplink, FedAvg, evaluate."""
-    from repro.fl import FLClient, FLServer, fedavg
+    from repro.fl import FLClient, FLServer
     from repro.data.partition import partition_dataset
     from repro.utils.seeding import SeedSequenceFactory
 

@@ -9,7 +9,6 @@ executions.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import load_dataset
