@@ -31,5 +31,5 @@ def test_figure9_scaling(run_once):
     assert 4.0 < fedsz_speedup < 20.0
     assert fedsz_speedup > raw_speedup
     # FedSZ's absolute epoch time is lower at every scale.
-    for fedsz_row, raw_row in zip(fedsz_strong, raw_strong):
+    for fedsz_row, raw_row in zip(fedsz_strong, raw_strong, strict=True):
         assert fedsz_row["epoch_seconds_per_client"] < raw_row["epoch_seconds_per_client"]

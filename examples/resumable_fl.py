@@ -105,7 +105,7 @@ def main() -> None:
         np.array_equal(reference_state[name], resumed_state[name])
         for name in reference_state
     )
-    rows = zip(reference.history.accuracies(), history.accuracies())
+    rows = zip(reference.history.accuracies(), history.accuracies(), strict=True)
     print("\nround | reference acc | resumed acc")
     for index, (ref_acc, res_acc) in enumerate(rows):
         print(f"{index:5d} | {ref_acc:13.4f} | {res_acc:11.4f}")

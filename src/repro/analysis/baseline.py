@@ -1,0 +1,111 @@
+"""Baseline handling: park pre-existing findings without blocking CI.
+
+The baseline file is a committed JSON document mapping finding
+*fingerprints* to counts.  A fingerprint hashes the rule id, the file path
+and the stripped source line text — not the line number — so unrelated edits
+above a parked finding do not resurrect it, while any change to the flagged
+line itself (including fixing it) does.
+
+Burn-down semantics: a finding matching a baseline entry is reported as
+"baselined" and does not fail the run; entries stop matching the moment the
+offending line changes, and ``repro lint --write-baseline`` re-captures the
+(hopefully smaller) remainder.  The goal state is the empty baseline this
+repo ships.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.engine import Finding
+
+BASELINE_SCHEMA = "repro.lint-baseline"
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-drift-tolerant identity of a finding."""
+    digest = hashlib.sha256(
+        f"{finding.rule}\0{finding.path}\0{finding.line_text}".encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+class Baseline:
+    """A multiset of parked finding fingerprints."""
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path} is not a {BASELINE_SCHEMA} file "
+                f"(schema={payload.get('schema')!r})"
+            )
+        counts = {
+            entry["fingerprint"]: int(entry.get("count", 1))
+            for entry in payload.get("entries", [])
+        }
+        return cls(counts)
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Split ``findings`` into (new, baselined-count)."""
+        remaining = dict(self.counts)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        return fresh, matched
+
+    def is_empty(self) -> bool:
+        return not any(self.counts.values())
+
+
+def write_baseline(path, findings: List[Finding]) -> None:
+    """Capture ``findings`` as the new baseline at ``path``."""
+    grouped: Dict[str, Dict[str, object]] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = fingerprint(finding)
+        entry = grouped.setdefault(
+            key,
+            {
+                "fingerprint": key,
+                "count": 0,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "line_text": finding.line_text,
+                "message": finding.message,
+            },
+        )
+        entry["count"] = int(entry["count"]) + 1
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": sorted(
+            grouped.values(), key=lambda e: (e["path"], e["line"], e["rule"])
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,119 @@
+"""DET003 — codec clone/checkpoint protocol completeness.
+
+Two checks pinned to the runtime's codec contracts:
+
+1. **Checkpoint pair.** ``checkpoint_state()`` and
+   ``restore_checkpoint_state()`` are a protocol pair (fl/checkpoint.py calls
+   them symmetrically on save and resume).  A class implementing only one
+   half either silently loses state on resume (save-only) or restores into
+   nothing (restore-only) — both break resume==uninterrupted bit-identity.
+
+2. **Mutable state needs an explicit clone.** The codec base classes implement
+   ``clone()`` as a shallow ``copy.copy``, which is complete only for plain
+   configuration attributes.  A codec subclass whose ``__init__`` creates
+   mutable containers (``self.history = []``) inherits a clone that *shares*
+   that state across executor workers — the pooled==private and
+   serial==parallel equivalences then depend on scheduling.  Such classes
+   must define their own ``clone()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules import LintRule, register_rule
+
+_CHECKPOINT_PAIR = ("checkpoint_state", "restore_checkpoint_state")
+
+#: Base-class names whose inherited clone() is a shallow copy.
+_CODEC_BASES = frozenset({
+    "LossyCompressor", "LosslessCompressor", "StagedCompressor",
+    "FedSZCompressor",
+})
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+})
+
+
+def _assigns_mutable_state(init: ast.FunctionDef) -> Iterator[ast.stmt]:
+    """Statements in ``__init__`` binding a fresh mutable container to self."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            for target in node.targets
+        ):
+            continue
+        value = node.value
+        mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        )
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            mutable = mutable or value.func.id in _MUTABLE_FACTORIES
+        if mutable:
+            yield node
+
+
+@register_rule
+class CodecProtocolRule(LintRule):
+    rule_id = "DET003"
+    summary = "checkpoint_state/restore pair completeness; mutable codecs define clone()"
+    invariant = (
+        "stateful codecs survive resume (full pair) and never share mutable "
+        "state through the inherited shallow-copy clone()"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods: Set[str] = {
+            item.name
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        implemented = [name for name in _CHECKPOINT_PAIR if name in methods]
+        if len(implemented) == 1:
+            missing = next(n for n in _CHECKPOINT_PAIR if n not in methods)
+            yield self.finding(
+                module, cls,
+                f"class {cls.name} implements {implemented[0]}() without "
+                f"{missing}(); the checkpoint protocol is a pair — a lone "
+                "half silently breaks resume bit-identity",
+            )
+
+        base_names = {
+            module.dotted_name(base).rpartition(".")[2]
+            for base in cls.bases
+            if module.dotted_name(base) is not None
+        }
+        if not (base_names & _CODEC_BASES) or "clone" in methods:
+            return
+        init = next(
+            (
+                item
+                for item in cls.body
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        for statement in _assigns_mutable_state(init):
+            yield self.finding(
+                module, statement,
+                f"codec {cls.name} creates mutable per-instance state in "
+                "__init__ but inherits the shallow-copy clone(); define "
+                "clone() so executor workers never share this state",
+            )

@@ -1,0 +1,94 @@
+"""DET004 — no silent failure, no ``assert`` as runtime validation.
+
+Three checks:
+
+1. Bare ``except:`` — catches SystemExit/KeyboardInterrupt and hides the
+   crash the checkpoint machinery is designed to survive loudly.
+2. ``except Exception:``/``except BaseException:`` whose body does nothing
+   (only ``pass``/``...``) — a silently swallowed failure turns a
+   determinism bug into an unexplained divergence three suites later.
+   Deliberate swallows (monitor subscriber isolation, best-effort ``__del__``
+   cleanup) carry an inline suppression with their justification.
+3. ``assert`` statements in runtime code — stripped under ``python -O``, so
+   any invariant they guard silently vanishes in optimized runs; runtime
+   validation must ``raise``.  Test files (``tests/``, ``test_*.py``,
+   ``conftest.py``) are exempt: assert is pytest's native idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules import LintRule, register_rule
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_test_file(path: str) -> bool:
+    parts = PurePosixPath(path).parts
+    name = PurePosixPath(path).name
+    return (
+        "tests" in parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for name in names:
+        text = name.attr if isinstance(name, ast.Attribute) else getattr(name, "id", "")
+        if text in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+@register_rule
+class SilentFailureRule(LintRule):
+    rule_id = "DET004"
+    summary = "no bare/silent broad excepts; no assert-as-validation in runtime code"
+    invariant = (
+        "failures surface loudly and validation survives python -O, so "
+        "determinism bugs cannot hide behind swallowed exceptions"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        is_test = _is_test_file(module.path)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        module, node,
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                        "name the exception types",
+                    )
+                elif _is_broad(node) and _body_is_silent(node):
+                    yield self.finding(
+                        module, node,
+                        "broad exception silently swallowed; handle it, "
+                        "narrow it, or suppress with a justification",
+                    )
+            elif isinstance(node, ast.Assert) and not is_test:
+                yield self.finding(
+                    module, node,
+                    "assert is stripped under 'python -O'; raise an explicit "
+                    "exception for runtime validation",
+                )

@@ -1,0 +1,139 @@
+"""FORK001 — worker-crossing types must be spawn-safe.
+
+``ProcessParallelExecutor`` ships ``_ClientTaskSpec``/``_WorkerTaskResult``
+(and the fault objects they carry) across the fork boundary today; the
+planned socket executor will pickle the same types to other *hosts*, where a
+fork can no longer smuggle live parent objects through memory inheritance.
+This rule proves the spec types stay live-object-free: no callables, no
+lambdas, no threading primitives, no queues/pools/modules — ids, seeds and
+plain-data specs only.
+
+A class is *worker-crossing* when its name matches the executor protocol
+suffixes (``*TaskSpec``, ``*TaskResult``, ``*LinkSpec``), is one of the
+fault types shipped inside a spec, or carries an explicit
+``# repro-lint: worker-crossing`` comment on its ``class`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules import LintRule, register_rule
+
+_CROSSING_SUFFIXES = ("TaskSpec", "TaskResult", "LinkSpec")
+_CROSSING_NAMES = frozenset({"ClientCrash", "BroadcastPayload"})
+_MARKER_RE = re.compile(r"#\s*repro-lint:\s*worker-crossing")
+
+#: Type names that are (or hold) live process-local objects.
+_FORBIDDEN_TYPES = frozenset({
+    "Callable", "Lambda", "FunctionType", "MethodType", "ModuleType",
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "Thread", "Timer", "local",
+    "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue", "JoinableQueue",
+    "Process", "Pool", "ThreadPoolExecutor", "ProcessPoolExecutor",
+    "Connection", "Pipe", "socket", "SharedMemory",
+    "TextIOWrapper", "BufferedReader", "BufferedWriter", "IO", "BinaryIO",
+    "TextIO",
+})
+
+
+def _is_worker_crossing(module: ModuleContext, cls: ast.ClassDef) -> bool:
+    if cls.name.endswith(_CROSSING_SUFFIXES) or cls.name in _CROSSING_NAMES:
+        return True
+    header = module.line_at(cls.lineno)
+    return _MARKER_RE.search(header) is not None
+
+
+def _forbidden_in_annotation(annotation: ast.AST) -> Iterator[str]:
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in _FORBIDDEN_TYPES:
+            yield node.id
+        elif isinstance(node, ast.Attribute) and node.attr in _FORBIDDEN_TYPES:
+            yield node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations ("Callable[..., int]") — cheap substring scan.
+            for name in _FORBIDDEN_TYPES:
+                if re.search(rf"\b{name}\b", node.value):
+                    yield name
+
+
+def _inside_default_factory(lambda_node: ast.Lambda, cls: ast.ClassDef) -> bool:
+    """Is this lambda a dataclass ``field(default_factory=lambda: ...)``?
+
+    A default_factory lambda runs at *construction* time in whichever process
+    builds the instance; the produced value (not the lambda) is what crosses
+    the boundary, so it is fork-safe.
+    """
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "default_factory" and keyword.value is lambda_node:
+                    return True
+    return False
+
+
+@register_rule
+class ForkSafetyRule(LintRule):
+    rule_id = "FORK001"
+    summary = "worker-crossing task specs stay lambda/closure/lock/thread-free"
+    invariant = (
+        "executor task specs pickle cleanly under spawn (and future socket "
+        "transport): plain data only, no live parent objects"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_worker_crossing(module, node):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        # Field annotations (dataclass fields and class-level attributes).
+        for item in cls.body:
+            if isinstance(item, ast.AnnAssign):
+                for name in sorted(set(_forbidden_in_annotation(item.annotation))):
+                    yield self.finding(
+                        module, item,
+                        f"worker-crossing class {cls.name} declares a "
+                        f"{name}-typed field; specs must carry plain data "
+                        "(ids, seeds, arrays), not live objects",
+                    )
+
+        # Lambdas anywhere in the class body (defaults, methods), except
+        # dataclass default_factory thunks which never cross the boundary.
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Lambda) and not _inside_default_factory(node, cls):
+                yield self.finding(
+                    module, node,
+                    f"lambda inside worker-crossing class {cls.name}; lambdas "
+                    "do not pickle — ship a name or plain value and rebuild "
+                    "the callable worker-side",
+                )
+
+        # Instance attributes bound to obviously-live objects in methods.
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(item):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                callee = module.dotted_name(node.value.func) or ""
+                tail = callee.rpartition(".")[2]
+                if tail not in _FORBIDDEN_TYPES:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"worker-crossing class {cls.name} binds self."
+                            f"{target.attr} to {tail}(); live objects cannot "
+                            "cross the fork/spawn boundary",
+                        )

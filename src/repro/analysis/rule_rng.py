@@ -1,0 +1,97 @@
+"""DET001 — no global-state RNG.
+
+Every stochastic stream in this repo flows from an explicit
+:class:`numpy.random.Generator` (``utils.seeding.spawn_generator``, the
+``client_round_rng`` substream discipline from the checkpoint work).  Module
+-level RNG calls (``np.random.normal``, bare ``random.choice``) draw from
+hidden global state that is not captured by checkpoints, not forked safely to
+workers, and not reproducible across executors — exactly the bug class the
+serial==thread==process bit-identity suites keep re-fixing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules import LintRule, register_rule
+
+#: Legacy module-level ``numpy.random`` API (the hidden global RandomState).
+#: Explicit-stream constructors (default_rng/Generator/PCG64/SeedSequence/
+#: RandomState) are deliberately absent.
+_NUMPY_GLOBAL_FNS = frozenset({
+    "seed", "get_state", "set_state",
+    "rand", "randn", "randint", "random_integers",
+    "random", "random_sample", "ranf", "sample", "bytes",
+    "choice", "shuffle", "permutation",
+    "beta", "binomial", "chisquare", "dirichlet", "exponential", "f",
+    "gamma", "geometric", "gumbel", "hypergeometric", "laplace", "logistic",
+    "lognormal", "logseries", "multinomial", "multivariate_normal",
+    "negative_binomial", "noncentral_chisquare", "noncentral_f", "normal",
+    "pareto", "poisson", "power", "rayleigh", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal", "standard_t",
+    "triangular", "uniform", "vonmises", "wald", "weibull", "zipf",
+})
+
+#: Module-level functions of the stdlib ``random`` module (the shared global
+#: ``random.Random`` instance).  ``random.Random(seed)`` / ``SystemRandom``
+#: construct explicit instances and are allowed.
+_STDLIB_GLOBAL_FNS = frozenset({
+    "seed", "getstate", "setstate", "getrandbits", "randbytes",
+    "randrange", "randint", "choice", "choices", "shuffle", "sample",
+    "random", "uniform", "triangular", "betavariate", "binomialvariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+})
+
+
+@register_rule
+class GlobalRngRule(LintRule):
+    rule_id = "DET001"
+    summary = "no global-state RNG calls (np.random.* module API, bare random.*)"
+    invariant = (
+        "randomness flows from explicit numpy.random.Generator streams so "
+        "every draw is seeded, checkpointable and identical across executors"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node)
+
+    def _check_call(self, module: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        resolved = module.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved.startswith("numpy.random."):
+            tail = resolved[len("numpy.random."):]
+            if tail in _NUMPY_GLOBAL_FNS:
+                yield self.finding(
+                    module, node,
+                    f"global-state RNG call {resolved}(); draw from an "
+                    "explicit numpy.random.Generator instead "
+                    "(utils.seeding.spawn_generator / client_round_rng)",
+                )
+        elif resolved.startswith("random."):
+            tail = resolved[len("random."):]
+            if tail in _STDLIB_GLOBAL_FNS:
+                yield self.finding(
+                    module, node,
+                    f"global-state RNG call {resolved}(); use an explicit "
+                    "random.Random(seed) or a numpy Generator instead",
+                )
+
+    def _check_import(self, module: ModuleContext, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module != "random" or node.level != 0:
+            return
+        for name in node.names:
+            if name.name in _STDLIB_GLOBAL_FNS:
+                yield self.finding(
+                    module, node,
+                    f"'from random import {name.name}' binds the shared "
+                    "global random.Random stream; construct an explicit "
+                    "random.Random(seed) instead",
+                )

@@ -49,7 +49,9 @@ def build_report(
         "schema": BENCH_SCHEMA,
         "schema_version": BENCH_SCHEMA_VERSION,
         "workload": workload,
-        "created_at": datetime.now(timezone.utc).isoformat(),
+        # BENCH metadata, never simulation state: the timestamp exists so CI
+        # artifacts are attributable, and compare.py ignores it.
+        "created_at": datetime.now(timezone.utc).isoformat(),  # repro-lint: disable=DET002 -- report metadata only
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -266,7 +266,8 @@ def _measure_codec_parallel(
 
     serial_payload, _ = compress_state_dict(state, serial_config)
     parallel_payload, _ = compress_state_dict(state, parallel_config)
-    assert parallel_payload == serial_payload, "tensor-parallel payload must be byte-identical"
+    if parallel_payload != serial_payload:
+        raise RuntimeError("tensor-parallel payload must be byte-identical to serial")
 
     def run_serial(timer):
         with timer.measure("compress"):
@@ -420,10 +421,11 @@ def _measure_fl_parallel(
             items=clients,
             extra={"samples": samples, "clients": clients, "workers": workers},
         )
-        assert (
+        if (
             parallel.runtime.history.deterministic_rows()
-            == serial.runtime.history.deterministic_rows()
-        ), "process-parallel rounds must be bit-identical to serial"
+            != serial.runtime.history.deterministic_rows()
+        ):
+            raise RuntimeError("process-parallel rounds must be bit-identical to serial")
         if parallel_record.seconds > 0:
             parallel_record.extra["speedup_vs_serial"] = (
                 serial_record.seconds / parallel_record.seconds

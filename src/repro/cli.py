@@ -468,6 +468,39 @@ def build_parser() -> argparse.ArgumentParser:
                                    "'fl --history-out') to fold into the "
                                    "--report-out diagnosis")
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the repo-specific determinism/fork-safety lint"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON of parked findings (default: "
+             ".repro-lint-baseline.json when it exists)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="capture the current findings as the baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule ids, summaries and the invariant each protects",
+    )
+
     report_parser = subparsers.add_parser(
         "report", help="render a post-run error-analysis markdown report"
     )
@@ -481,6 +514,62 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--title", default="Run error-analysis report",
                                help="report heading")
     return parser
+
+
+def _run_lint(arguments) -> int:
+    """Run the determinism/fork-safety lint; exit 1 on fresh findings."""
+    from repro.analysis import (
+        Baseline,
+        get_rules,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_descriptions,
+        write_baseline,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+    if arguments.list_rules:
+        for description in rule_descriptions():
+            print(f"{description['id']:8s} {description['summary']}")
+            print(f"{'':8s} invariant: {description['invariant']}")
+        return 0
+
+    try:
+        rules = get_rules(arguments.rule)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    missing = [path for path in arguments.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(arguments.paths, rules)
+
+    if arguments.write_baseline:
+        destination = arguments.baseline or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(destination, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to {destination}")
+        return 0
+
+    baseline_path = arguments.baseline
+    if baseline_path is None and not arguments.no_baseline:
+        candidate = Path(DEFAULT_BASELINE_NAME)
+        if candidate.exists():
+            baseline_path = candidate
+    if baseline_path is not None and not arguments.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+        result.findings, result.baselined = baseline.filter(result.findings)
+
+    output = render_json(result) if arguments.format == "json" else render_text(result)
+    print(output)
+    return 1 if result.findings else 0
 
 
 def _run_bench(arguments) -> int:
@@ -548,7 +637,7 @@ def _run_bench_compare(arguments, load_report, compare_reports) -> int:
                 min_seconds=arguments.min_seconds,
                 normalize=arguments.normalize,
             )
-            for baseline_path, current_path in zip(paths[0::2], paths[1::2])
+            for baseline_path, current_path in zip(paths[0::2], paths[1::2], strict=True)
         ]
     except (OSError, ValueError, KeyError) as error:
         print(error, file=sys.stderr)
@@ -638,6 +727,9 @@ def main(argv: Optional[list] = None) -> int:
         for name in available_experiments():
             print(name)
         return 0
+
+    if arguments.command == "lint":
+        return _run_lint(arguments)
 
     if arguments.command == "bench":
         return _run_bench(arguments)

@@ -267,7 +267,7 @@ class HuffmanCodec:
         max_length = code.max_length
         table_symbols = np.zeros(1 << max_length, dtype=np.int64)
         table_lengths = np.zeros(1 << max_length, dtype=np.int64)
-        for symbol, length, codeword in zip(code.symbols, code.lengths, code.codes):
+        for symbol, length, codeword in zip(code.symbols, code.lengths, code.codes, strict=True):
             length = int(length)
             prefix = int(codeword) << (max_length - length)
             span = 1 << (max_length - length)

@@ -217,7 +217,7 @@ def compress_state_dict(
     lossy_payloads: Dict[str, bytes] = {}
     lossy_shapes: Dict[str, list] = {}
     lossy_dtypes: Dict[str, str] = {}
-    for task, (payload, seconds) in zip(tasks, outcomes):
+    for task, (payload, seconds) in zip(tasks, outcomes, strict=True):
         lossy_payloads[task.name] = payload
         lossy_shapes[task.name] = list(task.tensor.shape)
         lossy_dtypes[task.name] = np.dtype(task.tensor.dtype).str
@@ -285,7 +285,7 @@ def decompress_state_dict(
         report.per_tensor_decompress_seconds.clear()
 
     state: Dict[str, np.ndarray] = {}
-    for name, (flat, seconds) in zip(names, outcomes):
+    for name, (flat, seconds) in zip(names, outcomes, strict=True):
         shape = tuple(shapes.get(name, flat.shape))
         dtype = np.dtype(dtypes.get(name, flat.dtype.str))
         state[name] = flat.astype(dtype).reshape(shape)

@@ -538,7 +538,7 @@ class ProcessParallelExecutor:
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=DET004 -- raising in __del__ at interpreter shutdown is worse
             pass
 
     def broadcast_cache_stats(self) -> Dict[int, Dict[str, int]]:
@@ -641,7 +641,7 @@ class ProcessParallelExecutor:
                         f"worker process(es) died mid-round: {', '.join(dead)}; "
                         "the pool was shut down and will restart on the next "
                         "round"
-                    )
+                    ) from None
                 continue
             kind = message[0]
             if kind == "result":

@@ -62,7 +62,7 @@ def restore_stochastic_state(model: Module, states: Sequence[dict]) -> None:
             f"model has {len(modules)} stochastic modules but {len(states)} "
             "states were captured; was the model function changed mid-run?"
         )
-    for module, state in zip(modules, states):
+    for module, state in zip(modules, states, strict=True):
         module._rng.bit_generator.state = state
 
 

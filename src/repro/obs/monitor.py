@@ -72,9 +72,13 @@ def _round_row(record) -> Dict[str, object]:
 class RunMonitor:
     """Aggregating event bus for one federated run (see module docstring)."""
 
-    def __init__(self, max_events: int = 4096, clock: Callable[[], float] = time.time) -> None:
+    def __init__(
+        self, max_events: int = 4096, clock: Optional[Callable[[], float]] = None
+    ) -> None:
         self._lock = threading.RLock()
-        self._clock = clock
+        # Late-bound so monkeypatched/sanitized time.time is honoured; the
+        # default wall clock feeds monitor data only, never simulation state.
+        self._clock = clock if clock is not None else time.time
         self._events: deque = deque(maxlen=max_events)
         self._subscribers: List[Callable[[MonitorEvent], None]] = []
         self._status = "idle"
@@ -108,7 +112,7 @@ class RunMonitor:
         for subscriber in subscribers:
             try:
                 subscriber(event)
-            except Exception:
+            except Exception:  # repro-lint: disable=DET004 -- monitor stays passive; a broken subscriber must not touch the run
                 pass
         return event
 

@@ -100,7 +100,7 @@ def _bound_pressure(history, top: int = 10) -> List[str]:
     for record in ranked:
         worst_tensor = min(
             record.tensor_bound_utilization,
-            key=lambda name: (-record.tensor_bound_utilization[name], name),
+            key=lambda name, utilization=record.tensor_bound_utilization: (-utilization[name], name),
         )
         lines.append(
             f"| {record.round_index} "
@@ -141,7 +141,7 @@ def _controller_stability(history) -> List[str]:
                      f" ({len(trajectory)} round(s) with a recorded bound).")
         lines.append("")
         return lines
-    moves = [b - a for a, b in zip(trajectory, trajectory[1:]) if b != a]
+    moves = [b - a for a, b in zip(trajectory, trajectory[1:], strict=False) if b != a]
     if not moves:
         lines.append(
             f"Bound held constant at {_fmt(trajectory[0])} for all "
@@ -150,7 +150,8 @@ def _controller_stability(history) -> List[str]:
         lines.append("")
         return lines
     flips = sum(
-        1 for a, b in zip(moves, moves[1:]) if math.copysign(1.0, a) != math.copysign(1.0, b)
+        1 for a, b in zip(moves, moves[1:], strict=False)
+        if math.copysign(1.0, a) != math.copysign(1.0, b)
     )
     flip_fraction = flips / len(moves)
     lines.extend(

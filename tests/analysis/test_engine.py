@@ -1,0 +1,211 @@
+"""Engine mechanics: suppressions, baseline round-trip, output formats."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    get_rule,
+    get_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.baseline import fingerprint
+from repro.analysis.engine import LintResult, ModuleContext, iter_python_files
+
+PATH = "src/repro/fake/module.py"
+
+RNG_SNIPPET = """
+    import numpy as np
+    np.random.seed(1)
+"""
+
+
+def _lint(source: str, rule_ids=("DET001",), path: str = PATH):
+    return lint_source(path, textwrap.dedent(source), [get_rule(r) for r in rule_ids])
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_matching_rule_is_suppressed(self):
+        assert not _lint("""
+            import numpy as np
+            np.random.seed(1)  # repro-lint: disable=DET001 -- justified here
+        """)
+
+    def test_disable_all(self):
+        assert not _lint("""
+            import numpy as np
+            np.random.seed(1)  # repro-lint: disable=all
+        """)
+
+    def test_other_rule_id_does_not_suppress(self):
+        hits = _lint("""
+            import numpy as np
+            np.random.seed(1)  # repro-lint: disable=DET002
+        """)
+        assert len(hits) == 1
+
+    def test_comma_separated_rule_list(self):
+        assert not _lint("""
+            import time, numpy as np
+            x = np.random.rand(); y = time.time()  # repro-lint: disable=DET001,DET002
+        """, rule_ids=("DET001", "DET002"))
+
+    def test_suppression_is_line_scoped(self):
+        hits = _lint("""
+            import numpy as np
+            np.random.seed(1)  # repro-lint: disable=DET001
+            np.random.seed(2)
+        """)
+        assert [f.line for f in hits] == [4]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip_parks_all_findings(self, tmp_path):
+        findings = _lint(RNG_SNIPPET)
+        assert findings
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        baseline = Baseline.load(baseline_file)
+        fresh, parked = baseline.filter(findings)
+        assert fresh == []
+        assert parked == len(findings)
+
+    def test_line_drift_does_not_resurrect(self, tmp_path):
+        findings = _lint(RNG_SNIPPET)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        # Same offending line, pushed two lines down by an unrelated edit.
+        drifted = _lint("""
+            import numpy as np
+            UNRELATED = 1
+            ALSO_UNRELATED = 2
+            np.random.seed(1)
+        """)
+        fresh, parked = Baseline.load(baseline_file).filter(drifted)
+        assert fresh == [] and parked == 1
+
+    def test_changed_line_text_is_fresh(self, tmp_path):
+        findings = _lint(RNG_SNIPPET)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        changed = _lint("""
+            import numpy as np
+            np.random.seed(99)
+        """)
+        fresh, parked = Baseline.load(baseline_file).filter(changed)
+        assert len(fresh) == 1 and parked == 0
+
+    def test_duplicate_lines_need_matching_counts(self, tmp_path):
+        double = _lint("""
+            import numpy as np
+            np.random.seed(1)
+            np.random.seed(1)
+        """)
+        assert len(double) == 2
+        assert fingerprint(double[0]) == fingerprint(double[1])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, double[:1])  # park only one occurrence
+        fresh, parked = Baseline.load(baseline_file).filter(double)
+        assert len(fresh) == 1 and parked == 1
+
+    def test_empty_baseline_is_empty(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [])
+        baseline = Baseline.load(baseline_file)
+        assert baseline.is_empty()
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "something.else"}))
+        try:
+            Baseline.load(wrong)
+        except ValueError as error:
+            assert "something.else" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestOutput:
+    def _result(self) -> LintResult:
+        result = LintResult(findings=_lint(RNG_SNIPPET), checked_files=1)
+        return result
+
+    def test_text_format_has_location_rule_and_summary(self):
+        text = render_text(self._result())
+        assert f"{PATH}:3:1: DET001" in text
+        assert "1 finding(s) in 1 file(s)" in text
+        assert "[DET001: 1]" in text
+
+    def test_json_schema(self):
+        payload = json.loads(render_json(self._result()))
+        assert payload["schema"] == "repro.lint"
+        assert payload["version"] == 1
+        assert payload["checked_files"] == 1
+        assert payload["counts"] == {"DET001": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message", "line_text"}
+        assert finding["rule"] == "DET001"
+        assert finding["path"] == PATH
+        assert finding["line"] == 3
+
+    def test_findings_sorted_by_location(self):
+        findings = _lint("""
+            import numpy as np
+            np.random.seed(2)
+            np.random.seed(1)
+        """)
+        assert [f.line for f in findings] == [3, 4]
+
+
+# ----------------------------------------------------------------------
+# Engine edge cases
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source(PATH, "def broken(:\n", [get_rule("DET001")])
+        assert [f.rule for f in findings] == ["PARSE"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "clean.py").write_text("X = 1\n")
+        (package / "dirty.py").write_text("import numpy as np\nnp.random.rand()\n")
+        pycache = package / "__pycache__"
+        pycache.mkdir()
+        (pycache / "junk.py").write_text("import numpy as np\nnp.random.rand()\n")
+        result = lint_paths([package], get_rules(["DET001"]))
+        assert result.checked_files == 2  # __pycache__ skipped
+        assert len(result.findings) == 1
+
+    def test_iter_python_files_deduplicates(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("X = 1\n")
+        assert iter_python_files([target, target, tmp_path]) == [target]
+
+    def test_resolve_through_aliases(self):
+        module = ModuleContext(PATH, textwrap.dedent("""
+            import numpy as np
+            from time import perf_counter as pc
+        """))
+        assert module.aliases["np"] == "numpy"
+        assert module.aliases["pc"] == "time.perf_counter"
+
+    def test_finding_render(self):
+        finding = Finding(rule="DET001", path="a.py", line=3, col=4, message="boom")
+        assert finding.render() == "a.py:3:5: DET001 boom"

@@ -1,0 +1,357 @@
+"""Per-rule positive/negative fixture tests.
+
+Every shipped rule gets at least one snippet it must fire on and one
+structurally-adjacent snippet it must stay silent on, so a rule regression
+(either direction) is caught by name.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import get_rule, lint_source
+
+RUNTIME_PATH = "src/repro/fake/module.py"
+
+
+def findings(rule_id: str, source: str, path: str = RUNTIME_PATH):
+    return lint_source(path, textwrap.dedent(source), [get_rule(rule_id)])
+
+
+# ----------------------------------------------------------------------
+# DET001 — global-state RNG
+# ----------------------------------------------------------------------
+class TestDet001:
+    def test_fires_on_numpy_module_rng(self):
+        hits = findings("DET001", """
+            import numpy as np
+            def sample():
+                return np.random.normal(size=4)
+        """)
+        assert len(hits) == 1
+        assert hits[0].rule == "DET001"
+        assert "numpy.random.normal" in hits[0].message
+
+    def test_fires_on_numpy_seed_through_from_import(self):
+        hits = findings("DET001", """
+            from numpy import random
+            random.seed(7)
+        """)
+        assert [f.rule for f in hits] == ["DET001"]
+
+    def test_fires_on_stdlib_random_call_and_import(self):
+        hits = findings("DET001", """
+            import random
+            from random import shuffle
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert len(hits) == 2  # the from-import and the call
+
+    def test_silent_on_explicit_generator(self):
+        assert not findings("DET001", """
+            import numpy as np
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                gen = np.random.Generator(np.random.PCG64(seed))
+                return rng.normal(size=4) + gen.random()
+        """)
+
+    def test_silent_on_explicit_stdlib_instance(self):
+        assert not findings("DET001", """
+            from random import Random
+            def pick(items, seed):
+                return Random(seed).choice(items)
+        """)
+
+    def test_silent_on_unrelated_attribute_chains(self):
+        assert not findings("DET001", """
+            class Holder:
+                def draw(self):
+                    return self.random.choice([1, 2])
+        """)
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock / timing taint
+# ----------------------------------------------------------------------
+class TestDet002:
+    def test_fires_on_time_time(self):
+        hits = findings("DET002", """
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert len(hits) == 1
+        assert "time.time" in hits[0].message
+
+    def test_fires_on_datetime_now(self):
+        hits = findings("DET002", """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """)
+        assert len(hits) == 1
+
+    def test_exempts_utils_timing(self):
+        assert not findings("DET002", """
+            import time
+            def now():
+                return time.time()
+        """, path="src/repro/utils/timing.py")
+
+    def test_fires_on_tainted_deterministic_kwarg(self):
+        hits = findings("DET002", """
+            import time
+            def finish(history):
+                start = time.perf_counter()
+                elapsed = time.perf_counter() - start
+                history.add_round(uplink_seconds=elapsed)
+        """)
+        assert len(hits) == 1
+        assert "uplink_seconds" in hits[0].message
+
+    def test_fires_on_tainted_deterministic_attribute(self):
+        hits = findings("DET002", """
+            import time
+            def finish(record):
+                start = time.perf_counter()
+                record.transfer_seconds = time.perf_counter() - start
+        """)
+        assert len(hits) == 1
+        assert "transfer_seconds" in hits[0].message
+
+    def test_silent_on_measurement_fields(self):
+        assert not findings("DET002", """
+            import time
+            def finish(record):
+                start = time.perf_counter()
+                record.train_seconds = time.perf_counter() - start
+                record.log(compress_seconds=time.perf_counter() - start)
+        """)
+
+    def test_silent_on_modelled_values(self):
+        assert not findings("DET002", """
+            def finish(history, nbytes, bandwidth):
+                history.add_round(uplink_seconds=nbytes / bandwidth)
+        """)
+
+
+# ----------------------------------------------------------------------
+# DET003 — codec clone / checkpoint pair
+# ----------------------------------------------------------------------
+class TestDet003:
+    @pytest.mark.parametrize("half,other", [
+        ("checkpoint_state", "restore_checkpoint_state"),
+        ("restore_checkpoint_state", "checkpoint_state"),
+    ])
+    def test_fires_on_lone_checkpoint_half(self, half, other):
+        hits = findings("DET003", f"""
+            class Controller:
+                def {half}(self, *args):
+                    return {{}}
+        """)
+        assert len(hits) == 1
+        assert other in hits[0].message
+
+    def test_silent_on_full_checkpoint_pair(self):
+        assert not findings("DET003", """
+            class Controller:
+                def checkpoint_state(self):
+                    return {}
+                def restore_checkpoint_state(self, state):
+                    pass
+        """)
+
+    def test_fires_on_mutable_codec_without_clone(self):
+        hits = findings("DET003", """
+            from repro.compression.base import LossyCompressor
+            class Adaptive(LossyCompressor):
+                def __init__(self):
+                    self.history = []
+        """)
+        assert len(hits) == 1
+        assert "clone" in hits[0].message
+
+    def test_silent_when_clone_is_defined(self):
+        assert not findings("DET003", """
+            from repro.compression.base import LossyCompressor
+            class Adaptive(LossyCompressor):
+                def __init__(self):
+                    self.history = []
+                def clone(self):
+                    return Adaptive()
+        """)
+
+    def test_silent_on_plain_config_attributes(self):
+        assert not findings("DET003", """
+            from repro.compression.base import LossyCompressor
+            class Plain(LossyCompressor):
+                def __init__(self, bound):
+                    self.bound = float(bound)
+        """)
+
+    def test_silent_on_mutable_state_outside_codecs(self):
+        assert not findings("DET003", """
+            class Ordinary:
+                def __init__(self):
+                    self.cache = {}
+        """)
+
+
+# ----------------------------------------------------------------------
+# DET004 — silent failure / assert-as-validation
+# ----------------------------------------------------------------------
+class TestDet004:
+    def test_fires_on_bare_except(self):
+        hits = findings("DET004", """
+            def run(task):
+                try:
+                    task()
+                except:
+                    return None
+        """)
+        assert len(hits) == 1
+        assert "bare" in hits[0].message
+
+    def test_fires_on_silent_broad_except(self):
+        hits = findings("DET004", """
+            def run(task):
+                try:
+                    task()
+                except Exception:
+                    pass
+        """)
+        assert len(hits) == 1
+        assert "swallowed" in hits[0].message
+
+    def test_fires_on_runtime_assert(self):
+        hits = findings("DET004", """
+            def validate(payload):
+                assert payload, "payload must not be empty"
+        """)
+        assert len(hits) == 1
+        assert "python -O" in hits[0].message
+
+    def test_silent_on_narrow_except_pass(self):
+        assert not findings("DET004", """
+            def run(task):
+                try:
+                    task()
+                except (OSError, ValueError):
+                    pass
+        """)
+
+    def test_silent_on_handled_broad_except(self):
+        assert not findings("DET004", """
+            def run(task, log):
+                try:
+                    task()
+                except Exception as error:
+                    log(error)
+        """)
+
+    def test_asserts_allowed_in_test_files(self):
+        assert not findings("DET004", """
+            def test_payload():
+                assert 1 + 1 == 2
+        """, path="tests/fake/test_module.py")
+
+
+# ----------------------------------------------------------------------
+# FORK001 — worker-crossing spec hygiene
+# ----------------------------------------------------------------------
+class TestFork001:
+    def test_fires_on_callable_field(self):
+        hits = findings("FORK001", """
+            from dataclasses import dataclass
+            from typing import Callable
+            @dataclass
+            class _ClientTaskSpec:
+                client_id: int
+                model_factory: Callable[[], object]
+        """)
+        assert len(hits) == 1
+        assert "Callable" in hits[0].message
+
+    def test_fires_on_lock_field_and_string_annotation(self):
+        hits = findings("FORK001", """
+            import threading
+            class _WorkerTaskResult:
+                guard: threading.Lock
+                thunk: "Callable[[], int]"
+        """)
+        assert len(hits) == 2
+
+    def test_fires_on_lambda_default(self):
+        hits = findings("FORK001", """
+            from dataclasses import dataclass
+            @dataclass
+            class FooTaskSpec:
+                build = lambda: 3
+        """)
+        assert len(hits) == 1
+        assert "lambda" in hits[0].message
+
+    def test_fires_on_live_object_bound_in_method(self):
+        hits = findings("FORK001", """
+            import threading
+            class BarTaskSpec:
+                def __init__(self):
+                    self.lock = threading.Lock()
+        """)
+        assert len(hits) == 1
+        assert "Lock" in hits[0].message
+
+    def test_marker_comment_opts_a_class_in(self):
+        hits = findings("FORK001", """
+            from typing import Callable
+            class CustomEnvelope:  # repro-lint: worker-crossing
+                handler: Callable
+        """)
+        assert len(hits) == 1
+
+    def test_silent_on_plain_data_spec(self):
+        assert not findings("FORK001", """
+            from dataclasses import dataclass, field
+            from typing import Dict, List, Optional
+            @dataclass
+            class _ClientTaskSpec:
+                index: int
+                client_id: int
+                learning_rate: float
+                dropped: bool
+                client_state: dict
+                extras: Dict[str, float] = field(default_factory=dict)
+        """)
+
+    def test_default_factory_lambda_is_allowed(self):
+        assert not findings("FORK001", """
+            from dataclasses import dataclass, field
+            @dataclass
+            class _WorkerTaskResult:
+                payloads: list = field(default_factory=lambda: [])
+        """)
+
+    def test_non_crossing_classes_may_hold_callables(self):
+        assert not findings("FORK001", """
+            from typing import Callable
+            class SchedulerConfig:
+                tick: Callable[[], None]
+        """)
+
+
+# ----------------------------------------------------------------------
+# The real tree stays clean (the CI gate, pinned as a tier-1 test)
+# ----------------------------------------------------------------------
+def test_repo_src_has_no_findings():
+    from pathlib import Path
+
+    from repro.analysis import get_rules, lint_paths
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = lint_paths([src], get_rules())
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert not result.findings, f"repro lint src must be clean:\n{rendered}"

@@ -49,7 +49,8 @@ def test_canonical_codes_are_prefix_free():
     lengths = build_code_lengths(counts)
     _, ordered_lengths, codes = assign_canonical_codes(symbols, lengths)
     rendered = [
-        format(int(code), f"0{int(length)}b") for code, length in zip(codes, ordered_lengths)
+        format(int(code), f"0{int(length)}b")
+        for code, length in zip(codes, ordered_lengths, strict=True)
     ]
     for i, a in enumerate(rendered):
         for j, b in enumerate(rendered):
@@ -93,7 +94,7 @@ def test_codec_rejects_truncated_payload():
 def test_expected_bits_counts_payload_and_rejects_unknown_symbols():
     data = np.array([1, 1, 1, 2, 2, 3], dtype=np.int64)
     code = HuffmanCode.from_symbols(data)
-    length_of = {int(s): int(l) for s, l in zip(code.symbols, code.lengths)}
+    length_of = {int(s): int(l) for s, l in zip(code.symbols, code.lengths, strict=True)}
     assert code.expected_bits(data) == sum(length_of[int(s)] for s in data)
     with pytest.raises(KeyError):
         code.expected_bits(np.array([99], dtype=np.int64))

@@ -80,7 +80,7 @@ def test_classes_are_separable_by_prototype():
     data = make_synthetic_dataset("toy", 400, (3, 8, 8), num_classes=4, noise_scale=0.3, seed=0)
     means = np.stack([data.images[data.labels == c].mean(axis=0) for c in range(4)])
     correct = 0
-    for image, label in zip(data.images, data.labels):
+    for image, label in zip(data.images, data.labels, strict=True):
         distances = ((means - image) ** 2).sum(axis=(1, 2, 3))
         correct += int(np.argmin(distances) == label)
     assert correct / len(data) > 0.9

@@ -187,7 +187,7 @@ def test_default_bandwidth_sweep_is_log_spaced():
     bandwidths = default_bandwidths(9)
     assert bandwidths[0] == pytest.approx(1.0)
     assert bandwidths[-1] == pytest.approx(10_000.0)
-    ratios = [b2 / b1 for b1, b2 in zip(bandwidths, bandwidths[1:])]
+    ratios = [b2 / b1 for b1, b2 in zip(bandwidths, bandwidths[1:], strict=False)]
     assert all(ratio == pytest.approx(ratios[0], rel=1e-6) for ratio in ratios)
 
 
@@ -212,7 +212,7 @@ def test_figure9_weak_scaling_fedsz_flatter(figure9):
     fedsz_growth = fedsz[-1]["epoch_seconds_per_client"] / fedsz[0]["epoch_seconds_per_client"]
     raw_growth = raw[-1]["epoch_seconds_per_client"] / raw[0]["epoch_seconds_per_client"]
     assert fedsz_growth < raw_growth
-    for fedsz_row, raw_row in zip(fedsz, raw):
+    for fedsz_row, raw_row in zip(fedsz, raw, strict=True):
         assert fedsz_row["epoch_seconds_per_client"] < raw_row["epoch_seconds_per_client"]
 
 

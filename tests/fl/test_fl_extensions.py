@@ -98,5 +98,5 @@ def test_sampling_is_reproducible(data, model_fn):
     config = FLConfig(num_clients=4, rounds=2, client_fraction=0.5, batch_size=16, seed=7)
     history_a = FLSimulation(model_fn, train, val, config).run()
     history_b = FLSimulation(model_fn, train, val, config).run()
-    for record_a, record_b in zip(history_a.records, history_b.records):
+    for record_a, record_b in zip(history_a.records, history_b.records, strict=True):
         assert record_a.global_accuracy == pytest.approx(record_b.global_accuracy, abs=1e-9)

@@ -283,7 +283,7 @@ def test_async_scheduler_staleness_weights(data, model_fn, config):
     assert [stat.client_id for stat in by_arrival] == [0, 1, 2, 3]
     weights = [stat.weight for stat in by_arrival]
     assert weights[0] == pytest.approx(0.5)
-    assert all(a > b for a, b in zip(weights, weights[1:]))
+    assert all(a > b for a, b in zip(weights, weights[1:], strict=False))
     assert all(stat.aggregated for stat in record.client_stats)
     assert 0.0 <= record.global_accuracy <= 1.0
 

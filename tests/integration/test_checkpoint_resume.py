@@ -114,7 +114,7 @@ def test_kill_after_round_k_resume_is_bit_identical(data, tmp_path, executor_nam
         # The restored prefix carries the crashed process's measured timings
         # verbatim — resume does not re-execute already-persisted rounds.
         for restored, original in zip(
-            history.records[: CRASH_AFTER + 1], crashed.history.records
+            history.records[: CRASH_AFTER + 1], crashed.history.records, strict=False
         ):
             assert restored == original
     finally:

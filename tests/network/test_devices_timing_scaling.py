@@ -165,7 +165,7 @@ def test_weak_scaling_time_grows_with_clients(scaling_configs):
     fedsz, _ = scaling_configs
     points = weak_scaling(fedsz, CORES)
     times = [p.epoch_seconds_per_client for p in points]
-    assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+    assert all(later >= earlier for earlier, later in zip(times, times[1:], strict=False))
     assert points[-1].clients == 128
 
 
@@ -178,7 +178,7 @@ def test_weak_scaling_compression_is_flatter_than_uncompressed(scaling_configs):
     assert fedsz_growth < raw_growth
     assert all(
         f.epoch_seconds_per_client < r.epoch_seconds_per_client
-        for f, r in zip(fedsz_points, raw_points)
+        for f, r in zip(fedsz_points, raw_points, strict=True)
     )
 
 

@@ -99,7 +99,7 @@ def test_end_to_end_training_reduces_loss(rng):
     targets = (inputs[:, 0] + inputs[:, 1] > 0).astype(np.int64)
 
     first_loss = None
-    for step in range(60):
+    for _step in range(60):
         optimizer.zero_grad()
         logits = model(inputs)
         loss = loss_fn(logits, targets)
