@@ -17,6 +17,10 @@ layers of the repo:
 * a fleet-scale round (``fl_fleet``) — 256 lazy clients, 5% sampled per
   round, heterogeneous edge links, bounded model pool — proving the
   O(max_workers) memory path stays fast;
+* a mega-fleet round (``fl_fleet_100k``) — 100k clients, 0.02% sampled,
+  diurnal availability through the discrete-event engine
+  (:mod:`repro.fl.events`), plus a 1M-client availability event stream,
+  with events/sec kept in the JSON;
 * serial vs process-parallel client execution (``fl_parallel``) — one
   federated round on the shared-nothing worker-process pool fed by the
   fingerprint-keyed broadcast payload cache, asserted bit-identical to the
@@ -537,6 +541,113 @@ def _run_fleet_round(
     serial_record.extra["resident_models"] = serial_runtime.model_pool.created
 
 
+def _run_mega_fleet(
+    harness: BenchHarness,
+    metric: str,
+    clients: int = 100_000,
+    availability_clients: int = 1_000_000,
+) -> None:
+    """Event-engine rounds at 100k clients plus a 1M-client availability sweep.
+
+    The round metric drives the ``mega-fleet`` scenario (100k clients,
+    0.02% sampled, diurnal availability, cycled link specs) through the
+    discrete-event engine: per-round cost scales with participants +
+    availability transitions, and the extras keep the proof visible in the
+    JSON — events/sec, resident models (1) and materialised clients (tens,
+    not 100k).  The availability metric folds four rounds of a 1M-client
+    diurnal schedule's arrival/departure stream into an
+    :class:`~repro.fl.events.EligibleSet` — the pure event-stream half of the
+    engine, at a fleet size where per-round full-fleet rebuilds would
+    dominate.
+    """
+    from repro.data import load_dataset
+    from repro.fl import build_fleet_runtime, get_scenario
+    from repro.fl.events import EligibleSet
+    from repro.fl.scenarios import DiurnalSchedule
+    from repro.nn.models import create_model
+
+    # 0.995 split of clients + 1000 leaves >= one training sample per client
+    # and a ~500-image validation set for the per-round evaluation.
+    full = load_dataset("cifar10", num_samples=clients + 1_000, image_size=8, seed=0)
+    train, validation = full.split(0.995, seed=1)
+
+    def model_fn():
+        return create_model("alexnet", "tiny", num_classes=10, seed=0)
+
+    scenario = get_scenario("mega-fleet", num_clients=clients)
+
+    def build():
+        return build_fleet_runtime(
+            scenario,
+            model_fn,
+            train,
+            validation,
+            codec=None,
+            seed=7,
+            batch_size=16,
+            engine="events",
+        )
+
+    harness.measure(
+        f"{metric}_setup",
+        lambda timer: build(),
+        items=clients,
+        extra={"clients": clients},
+    )
+
+    runtime = build()
+
+    # Each warmup/timed call executes one additional engine round so setup
+    # cost stays out of the measurement.
+    def run(timer):
+        with timer.measure("round"):
+            return runtime.run_round()
+
+    record = harness.measure(
+        f"{metric}_round",
+        run,
+        items=clients,
+        extra={"clients": clients, "client_fraction": scenario.client_fraction},
+    )
+    stats = runtime.engine.stats
+    events_per_round = stats.total_events / max(1, stats.rounds_run)
+    record.extra.update(
+        resident_models=runtime.model_pool.created,
+        materialized_clients=runtime.clients.materialized_count,
+        participants=stats.participants,
+        availability_transitions=stats.availability_transitions,
+        events_per_round=events_per_round,
+    )
+    if record.seconds > 0:
+        record.extra["events_per_second"] = events_per_round / record.seconds
+
+    rounds = 4
+    schedule = DiurnalSchedule(
+        period_rounds=4, min_availability=0.2, max_availability=0.9, seed=7
+    )
+    transition_count = int(
+        sum(
+            arrivals.size + departures.size
+            for arrivals, departures in (
+                schedule.transitions(r, availability_clients) for r in range(rounds)
+            )
+        )
+    )
+
+    def run_availability(timer):
+        eligible = EligibleSet()
+        for r in range(rounds):
+            eligible.apply(*schedule.transitions(r, availability_clients))
+        return eligible
+
+    harness.measure(
+        f"{metric}_availability_1m",
+        run_availability,
+        items=transition_count,
+        extra={"clients": availability_clients, "rounds": rounds},
+    )
+
+
 def _measure_checkpoint(
     harness: BenchHarness,
     metric: str,
@@ -658,6 +769,14 @@ def _workload_fl_fleet(harness: BenchHarness) -> None:
     _run_fleet_round(
         harness, "fl_fleet", clients=256, client_fraction=0.05, samples=640
     )
+
+
+@register_workload(
+    "fl_fleet_100k",
+    "Event-engine rounds of a 100k-client diurnal fleet + 1M-client availability stream",
+)
+def _workload_fl_fleet_100k(harness: BenchHarness) -> None:
+    _run_mega_fleet(harness, "fl_fleet_100k")
 
 
 @register_workload(

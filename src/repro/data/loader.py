@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Mapping, Tuple
 
 import numpy as np
 
@@ -32,6 +32,20 @@ class DataLoader:
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
         self._rng = np.random.default_rng(seed)
+
+    def get_rng_state(self) -> dict:
+        """Snapshot the shuffle stream (advances once per shuffled epoch).
+
+        The public accessor pair (`get`/`set`) exists for checkpointing:
+        callers persist the state and later hand it back to
+        :meth:`set_rng_state`, restoring the exact sequence of future epoch
+        permutations without reaching into the private generator.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: Mapping) -> None:
+        """Restore a shuffle-stream snapshot taken by :meth:`get_rng_state`."""
+        self._rng.bit_generator.state = dict(state)
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.dataset), self.batch_size)

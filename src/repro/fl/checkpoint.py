@@ -277,9 +277,11 @@ def _check_match(kind: str, saved, current) -> None:
 #: may extend a run), the model-pool bound (pooled execution is bit-identical
 #: at any pool size), and the executor choice (serial, thread and process
 #: execution are bit-identical by construction, so a run may resume under a
-#: different executor or worker count).
+#: different executor or worker count; likewise the round engine — "rounds"
+#: and "events" drive identical simulated outcomes, so either may finish a
+#: run the other started).
 _EXECUTION_ONLY_CONFIG_FIELDS = frozenset(
-    {"rounds", "max_resident_models", "executor", "max_workers"}
+    {"rounds", "max_resident_models", "executor", "max_workers", "engine"}
 )
 
 

@@ -191,13 +191,13 @@ class FLClient:
         else:
             stochastic = None
         return {
-            "loader_rng": self.loader._rng.bit_generator.state,
+            "loader_rng": self.loader.get_rng_state(),
             "stochastic": stochastic,
         }
 
     def restore_checkpoint_state(self, state: Mapping) -> None:
         """Inverse of :meth:`checkpoint_state`."""
-        self.loader._rng.bit_generator.state = state["loader_rng"]
+        self.loader.set_rng_state(state["loader_rng"])
         stochastic = state.get("stochastic")
         if self._pool is not None:
             self._stochastic_states = list(stochastic) if stochastic is not None else None
@@ -205,11 +205,24 @@ class FLClient:
             restore_stochastic_state(self.model, stochastic)
 
     def evaluate(self, state_dict: Mapping[str, np.ndarray]) -> Dict[str, float]:
-        """Evaluate a state dict on this client's local data (no training)."""
+        """Evaluate a state dict on this client's local data (no training).
+
+        The forward pass runs in mini-batches of ``config.eval_batch_size``
+        so peak activation memory is bounded by the batch size rather than
+        the client's dataset — the loss and accuracy are computed once over
+        the concatenated logits, so a dataset that fits in a single batch
+        produces exactly the historical one-shot result.
+        """
+        batch_size = max(1, int(self.config.eval_batch_size))
         with self._borrow_model() as model:
             model.load_state_dict(dict(state_dict))
             model.eval()
-            logits = model(self.dataset.images)
+            images = self.dataset.images
+            chunks = [
+                model(images[start : start + batch_size])
+                for start in range(0, len(self.dataset), batch_size)
+            ]
+            logits = chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
             loss = self._loss(logits, self.dataset.labels)
             return {
                 "loss": loss,

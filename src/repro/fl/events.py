@@ -1,0 +1,379 @@
+"""Discrete-event engine for fleet-scale federated rounds.
+
+The legacy round loop walks the fleet: every round recomputes a full
+availability mask (O(num_clients)) and the runtime's bookkeeping scales with
+resident clients even when ``client_fraction`` means only a handful train.
+This module replaces that loop with a deterministic discrete-event engine so
+per-round work scales with **participants + availability transitions** — the
+events that actually happen — and a 100k–1M-client fleet costs what its
+activity costs, not what its census costs.
+
+Pieces:
+
+* :class:`EventQueue` — a deterministic priority queue (``heapq``) ordered by
+  ``(time, seq)``.  The monotone sequence number makes ties reproducible:
+  two events at the same instant pop in push order, never in hash or
+  comparison-of-payload order.
+* Typed events (:class:`Event`) — round start, per-client completion (timed
+  by the transport's simulated link seconds, which unifies the virtual
+  clock), straggler deadline, batched client arrival/departure, checkpoint
+  due, and fault injection.
+* :class:`EligibleSet` — the incrementally maintained "who is reachable"
+  set.  Availability schedules compile into arrival/departure event streams
+  (:meth:`repro.fl.scenarios.ParticipationSchedule.transitions`) instead of
+  per-round full-fleet masks; applying a stream reproduces
+  ``np.nonzero(mask)[0]`` bit for bit.
+* :class:`FleetEngine` — drives a :class:`~repro.fl.runtime.FederatedRuntime`
+  from the queue.  Schedulers consume the round's completion events
+  (``consume_events``): synchronous FedAvg is the degenerate barrier case
+  (drain everything), the semi-synchronous deadline is a
+  :data:`STRAGGLER_DEADLINE` event cutting the stream, and the asynchronous
+  scheduler mixes deliveries in pop order.
+
+Determinism contract
+--------------------
+The engine is **bit-identical** to the legacy loop (asserted at 256 clients
+across sync/semi-sync/async × serial/thread/process and under kill+resume in
+``tests/integration/test_event_engine.py``):
+
+* Within a round, event times are **round-relative** turnaround durations —
+  the exact floats the legacy loop compares — never re-based onto the global
+  clock (float addition is not associative; ``t0 + a <= t0 + b`` can
+  disagree with ``a <= b``).  The run-level virtual clock advances by each
+  round's ``simulated_round_seconds`` instead.
+* Completion events are pushed in task order, so pop order is
+  ``(turnaround, task order)`` — and since participants are sorted by client
+  id, that equals the legacy ``(turnaround_seconds, client_id)`` arrival
+  sort.  The deadline event is pushed after the completions, so a completion
+  at exactly the deadline drains first, preserving the legacy ``<=``
+  comparison.
+* Aggregation happens in **task order** from the results list (events decide
+  membership and timing only), so float summation order never changes.
+* Sampling consumes the same RNG stream: the eligible ids handed to the
+  sampler equal ``np.nonzero(mask)[0]`` exactly, and
+  ``Generator.choice``'s draws depend only on the pool size and draw count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: A new round opens: sample the eligible fleet, broadcast, dispatch tasks.
+ROUND_START = "round-start"
+#: One participant's update finished its simulated receive→train→transmit arc.
+CLIENT_COMPLETION = "client-completion"
+#: The semi-synchronous scheduler's cutoff: later completions are stragglers.
+STRAGGLER_DEADLINE = "straggler-deadline"
+#: A batch of clients became reachable / dropped off the fleet.
+AVAILABILITY = "availability"
+#: A checkpoint is due (persisted before any fault can fire).
+CHECKPOINT_DUE = "checkpoint-due"
+#: The fault injector is consulted (the worst-case crash point).
+FAULT_INJECTION = "fault-injection"
+
+
+@dataclass
+class Event:
+    """One typed occurrence on the virtual clock.
+
+    ``time`` is round-relative (a turnaround duration) for within-round
+    events and absolute virtual seconds for run-level control events — see
+    the module docstring's determinism contract for why the two never mix.
+    """
+
+    kind: str
+    time: float
+    round_index: int = -1
+    client_id: Optional[int] = None
+    #: The :class:`~repro.fl.executor.ClientResult` behind a completion.
+    result: Optional[object] = None
+    #: Batched ids for :data:`AVAILABILITY` events.
+    arrivals: Optional[np.ndarray] = None
+    departures: Optional[np.ndarray] = None
+
+
+class EventQueue:
+    """Deterministic priority queue: pops by ``(time, push order)``.
+
+    Events never compare against each other — the heap entries are
+    ``(time, seq, event)`` and the monotone ``seq`` breaks every time tie —
+    so pop order is a pure function of the push sequence.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        """Enqueue ``event`` at ``event.time``."""
+        heapq.heappush(self._heap, (float(event.time), self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Dequeue the earliest event (FIFO within one instant)."""
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float:
+        """The time of the next event without dequeuing it."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class EligibleSet:
+    """The reachable-client set, maintained from arrival/departure batches.
+
+    Ids are held as a sorted, unique ``int64`` array — exactly what
+    ``np.nonzero(mask)[0]`` yields — so handing :meth:`ids` to the sampler
+    reproduces the mask-based draw bit for bit.  ``touched`` counts ids
+    moved through :meth:`apply` / :meth:`reset_from_mask`: the O(events)
+    guard asserts it scales with transitions, not fleet size.
+    """
+
+    def __init__(self) -> None:
+        self._ids = np.empty(0, dtype=np.int64)
+        self.touched = 0
+
+    def apply(self, arrivals: np.ndarray, departures: np.ndarray) -> None:
+        """Fold one round's transitions into the set."""
+        arrivals = np.asarray(arrivals, dtype=np.int64)
+        departures = np.asarray(departures, dtype=np.int64)
+        if arrivals.size:
+            self._ids = np.union1d(self._ids, arrivals)
+        if departures.size:
+            self._ids = np.setdiff1d(self._ids, departures, assume_unique=True)
+        self.touched += int(arrivals.size) + int(departures.size)
+
+    def reset_from_mask(self, mask: np.ndarray) -> None:
+        """Rebuild the set from a full mask (the resume/discontinuity path).
+
+        A pure function of the mask, so a fresh engine resuming mid-run
+        lands on exactly the set the uninterrupted engine maintained
+        incrementally.  Costs (and counts) a full-fleet touch.
+        """
+        self._ids = np.nonzero(np.asarray(mask, dtype=bool))[0].astype(np.int64)
+        self.touched += int(np.asarray(mask).size)
+
+    def ids(self) -> np.ndarray:
+        """Sorted unique ids of the currently reachable clients."""
+        return self._ids
+
+    def __len__(self) -> int:
+        return int(self._ids.size)
+
+
+@dataclass
+class EngineStats:
+    """Event and touch accounting for one engine's lifetime."""
+
+    rounds_run: int = 0
+    participants: int = 0
+    completion_events: int = 0
+    availability_transitions: int = 0
+    control_events: int = 0
+    #: Per-round client touches: participants + availability transitions.
+    round_touches: List[int] = field(default_factory=list)
+
+    @property
+    def total_events(self) -> int:
+        """Every event the engine processed (the bench's events/sec basis)."""
+        return (
+            self.rounds_run
+            + self.completion_events
+            + self.availability_transitions
+            + self.control_events
+        )
+
+
+class FleetEngine:
+    """Drive a :class:`~repro.fl.runtime.FederatedRuntime` by events.
+
+    Construct with the runtime (``FLConfig.engine = "events"`` does this
+    automatically) and either call :meth:`run_round` per round or let
+    :meth:`run` own the whole run including checkpointing and fault
+    injection.  See the module docstring for the determinism contract.
+    """
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.eligible = EligibleSet()
+        self.stats = EngineStats()
+        #: Round index whose transitions the eligible set currently reflects
+        #: (-1 = never advanced, forcing a mask rebuild on first use).
+        self._availability_round = -1
+
+    # ------------------------------------------------------------------
+    # Virtual clock
+    # ------------------------------------------------------------------
+    @property
+    def virtual_time(self) -> float:
+        """Absolute simulated seconds elapsed: the sum of round durations.
+
+        Derived from the history rather than accumulated privately, so a
+        resumed engine's clock is automatically exact.
+        """
+        return float(
+            sum(
+                record.simulated_round_seconds
+                for record in self.runtime.history.records
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Availability event stream
+    # ------------------------------------------------------------------
+    def _advance_availability(self, round_index: int) -> Tuple[Optional[np.ndarray], int]:
+        """Bring the eligible set to ``round_index``; return ``(ids, touches)``.
+
+        Consecutive rounds fold the schedule's arrival/departure stream into
+        the set incrementally; any discontinuity (first round of a resumed
+        process, or a custom-scheduler fallback round in between) rebuilds
+        from the full mask — a pure function of the round index, so both
+        paths land on the same set.
+        """
+        runtime = self.runtime
+        if runtime.schedule is None:
+            return None, 0
+        num_clients = len(runtime.clients)
+        before = self.eligible.touched
+        if self._availability_round == round_index - 1:
+            arrivals, departures = runtime.schedule.transitions(round_index, num_clients)
+            self.eligible.apply(arrivals, departures)
+            self.stats.availability_transitions += int(
+                np.asarray(arrivals).size + np.asarray(departures).size
+            )
+        else:
+            mask = np.asarray(runtime.schedule.mask(round_index, num_clients), dtype=bool)
+            if mask.shape != (num_clients,):
+                raise ValueError(
+                    f"availability mask has shape {mask.shape}, expected ({num_clients},)"
+                )
+            self.eligible.reset_from_mask(mask)
+            self.stats.availability_transitions += len(self.eligible)
+        self._availability_round = round_index
+        return self.eligible.ids(), self.eligible.touched - before
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def run_round(self):
+        """Execute one round by feeding its events to the scheduler.
+
+        Falls back to the scheduler's legacy ``run_round`` for custom
+        schedulers that do not consume events.
+        """
+        runtime = self.runtime
+        consume = getattr(runtime.scheduler, "consume_events", None)
+        if consume is None:
+            return runtime.scheduler.run_round(runtime)
+
+        round_index = len(runtime.history)
+        eligible, touches = self._advance_availability(round_index)
+        context = runtime.start_round(eligible=eligible)
+        results = runtime.execute_clients(context)
+
+        events = EventQueue()
+        for result in results:  # task order: ties pop by ascending client id
+            events.push(
+                Event(
+                    kind=CLIENT_COMPLETION,
+                    time=result.turnaround_seconds,
+                    round_index=round_index,
+                    client_id=result.client_id,
+                    result=result,
+                )
+            )
+        deadline = getattr(runtime.scheduler, "deadline_seconds", None)
+        if deadline is not None:
+            # Pushed after the completions: an update landing exactly at the
+            # deadline has a smaller sequence number and drains first,
+            # matching the legacy `turnaround <= deadline` comparison.
+            events.push(
+                Event(kind=STRAGGLER_DEADLINE, time=float(deadline), round_index=round_index)
+            )
+            self.stats.control_events += 1
+
+        record = consume(runtime, context, results, events)
+
+        self.stats.rounds_run += 1
+        self.stats.participants += len(results)
+        self.stats.completion_events += len(results)
+        self.stats.round_touches.append(len(results) + touches)
+        return record
+
+    # ------------------------------------------------------------------
+    # Whole runs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        target: int,
+        *,
+        directory=None,
+        checkpoint_every: int = 1,
+        keep_checkpoints: int = 3,
+        injector=None,
+    ) -> None:
+        """Drive the run to ``target`` completed rounds through the queue.
+
+        Control events fire at the absolute virtual time the round closed;
+        at equal times the push order (checkpoint before fault before next
+        round start) decides — the exact sequence the legacy loop hard-codes,
+        here falling out of queue determinism.
+        """
+        runtime = self.runtime
+        queue = EventQueue()
+        if len(runtime.history) < target:
+            queue.push(
+                Event(
+                    kind=ROUND_START,
+                    time=self.virtual_time,
+                    round_index=len(runtime.history),
+                )
+            )
+        while queue:
+            event = queue.pop()
+            if event.kind == ROUND_START:
+                self.run_round()
+                completed = len(runtime.history)
+                now = self.virtual_time
+                if directory is not None and (
+                    completed % checkpoint_every == 0 or completed >= target
+                ):
+                    queue.push(
+                        Event(kind=CHECKPOINT_DUE, time=now, round_index=completed - 1)
+                    )
+                if injector is not None:
+                    queue.push(
+                        Event(kind=FAULT_INJECTION, time=now, round_index=completed - 1)
+                    )
+                if completed < target:
+                    queue.push(Event(kind=ROUND_START, time=now, round_index=completed))
+            elif event.kind == CHECKPOINT_DUE:
+                self.stats.control_events += 1
+                runtime._write_due_checkpoint(directory, keep_checkpoints)
+            elif event.kind == FAULT_INJECTION:
+                self.stats.control_events += 1
+                runtime._consult_injector(injector, event.round_index, directory)
+
+
+__all__ = [
+    "ROUND_START",
+    "CLIENT_COMPLETION",
+    "STRAGGLER_DEADLINE",
+    "AVAILABILITY",
+    "CHECKPOINT_DUE",
+    "FAULT_INJECTION",
+    "Event",
+    "EventQueue",
+    "EligibleSet",
+    "EngineStats",
+    "FleetEngine",
+]

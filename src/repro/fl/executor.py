@@ -77,9 +77,16 @@ from repro.core.serializer import serialize_named_arrays
 from repro.fl.broadcast import ENCODING_ARRAYS, BroadcastPayload, state_fingerprint
 from repro.fl.checkpoint import codec_fingerprint
 from repro.fl.client import ClientUpdate, FLClient
-from repro.fl.scenarios import ClientCrash
+from repro.fl.scenarios import ClientCrash, CorruptedUpload
 from repro.fl.state import ClientRegistry, ModelPool
-from repro.fl.transport import ClientLink, LinkSpec, TransferStats, transmit_update
+from repro.fl.transport import (
+    ClientLink,
+    LinkSpec,
+    TransferStats,
+    corrupt_wire_bytes,
+    transmit_corrupted_update,
+    transmit_update,
+)
 from repro.network.devices import get_device_profile
 
 
@@ -127,12 +134,21 @@ def run_client_task(task: ClientTask, codec, lock=None) -> ClientResult:
 
     A task carrying a fault raises it *before* any stream advances — the
     client died without training, rolling dropout or touching the channel —
-    so crashed runs stay bit-identical across executors.
+    so crashed runs stay bit-identical across executors.  The exception is a
+    :class:`~repro.fl.scenarios.CorruptedUpload` fault: the client trains and
+    transmits normally, but its framed payload is corrupted in transit and
+    the server's checksum rejects it (see
+    :func:`repro.fl.transport.transmit_corrupted_update`).
     """
-    if task.fault is not None:
+    if task.fault is not None and not isinstance(task.fault, CorruptedUpload):
         raise task.fault
     update = task.client.train(task.broadcast_state, learning_rate=task.learning_rate)
-    state, stats = transmit_update(update.state_dict, codec, task.link, lock=lock)
+    if isinstance(task.fault, CorruptedUpload):
+        state, stats = transmit_corrupted_update(
+            update.state_dict, codec, task.link, lock=lock
+        )
+    else:
+        state, stats = transmit_update(update.state_dict, codec, task.link, lock=lock)
     turnaround = (
         task.downlink_seconds
         + update.train_seconds
@@ -281,7 +297,10 @@ class _ClientTaskSpec:
     link_spec: LinkSpec
     dropped: bool
     client_state: dict
-    fault: Optional[ClientCrash] = None
+    #: A :class:`ClientCrash` (raised instead of training) or a
+    #: :class:`CorruptedUpload` (train normally, corrupt the wire bytes);
+    #: both are picklable via ``__reduce__``.
+    fault: Optional[BaseException] = None
 
 
 @dataclass
@@ -293,6 +312,10 @@ class _WorkerTaskResult:
     client_id: int
     crashed: bool
     client_state: dict
+    #: The payload was checksum-framed and corrupted in transit: the parent
+    #: accounts it like a transit loss (``payload_nbytes`` holds the wire
+    #: bytes that travelled, nothing was decompressed or delivered).
+    corrupted: bool = False
     num_samples: int = 0
     train_loss: float = 0.0
     train_accuracy: float = 0.0
@@ -307,7 +330,15 @@ class _WorkerTaskResult:
 
 
 def _execute_spec(spec: _ClientTaskSpec, registry, codec, broadcast_state):
-    """Worker-side body of one client task: train, compress, account."""
+    """Worker-side body of one client task: train, compress, account.
+
+    A :class:`CorruptedUpload` fault trains and compresses normally, then
+    replaces the payload with its corrupted framed wire bytes
+    (:func:`repro.fl.transport.corrupt_wire_bytes`) — nothing is decompressed
+    and the parent accounts the task as undelivered, exactly like the serial
+    :func:`repro.fl.transport.transmit_corrupted_update` path.
+    """
+    corrupted = isinstance(spec.fault, CorruptedUpload)
     client = registry[spec.client_id]
     client.restore_checkpoint_state(spec.client_state)
     update = client.train(broadcast_state, learning_rate=spec.learning_rate)
@@ -319,13 +350,14 @@ def _execute_spec(spec: _ClientTaskSpec, registry, codec, broadcast_state):
     decompress_seconds = 0.0
     report = None
     received_state = None
+    payload = None
     if codec is not None:
         start = time.perf_counter()
         payload = codec.compress(update.state_dict)
         compress_seconds = time.perf_counter() - start
         report = getattr(codec, "last_report", None)
         payload_nbytes = len(payload)
-        if not spec.dropped:
+        if not spec.dropped and not corrupted:
             start = time.perf_counter()
             received_state = codec.decompress(payload)
             decompress_seconds = time.perf_counter() - start
@@ -345,10 +377,15 @@ def _execute_spec(spec: _ClientTaskSpec, registry, codec, broadcast_state):
                     decompress_seconds = device_profile.decompression_seconds(
                         config.lossy_compressor, original_nbytes, config.error_bound
                     )
+    if corrupted:
+        if payload is None:  # codec-less run: the wire carries raw arrays
+            payload = serialize_named_arrays(dict(update.state_dict))
+        payload_nbytes = len(corrupt_wire_bytes(payload))
     return _WorkerTaskResult(
         index=spec.index,
         client_id=spec.client_id,
         crashed=False,
+        corrupted=corrupted,
         client_state=client.checkpoint_state(),
         num_samples=update.num_samples,
         train_loss=update.train_loss,
@@ -403,7 +440,9 @@ def _process_worker_main(worker_id, context, inbox, task_queue, result_queue):
                 break
             try:
                 try:
-                    if spec.fault is not None:
+                    if spec.fault is not None and not isinstance(
+                        spec.fault, CorruptedUpload
+                    ):
                         raise spec.fault
                     result = _execute_spec(spec, registry, codec, cached_state)
                 except ClientCrash:
@@ -663,7 +702,21 @@ class ProcessParallelExecutor:
         append, so replaying it here yields the exact seconds and log entries
         the serial run produces.
         """
-        if codec is None:
+        if r.corrupted:
+            record = task.link.send(
+                r.payload_nbytes, description="corrupted client update"
+            )
+            stats = TransferStats(
+                payload_nbytes=r.payload_nbytes,
+                transfer_seconds=record.seconds,
+                compress_seconds=r.compress_seconds,
+                decompress_seconds=0.0,
+                ratio=compression_ratio(r.original_nbytes, r.payload_nbytes),
+                delivered=False,
+                report=r.report,
+            )
+            state = None
+        elif codec is None:
             record = task.link.send(r.original_nbytes, description="raw client update")
             stats = TransferStats(
                 payload_nbytes=r.original_nbytes,

@@ -247,6 +247,17 @@ class FederatedRuntime:
         if callable(bind):
             bind(self)
 
+        #: Optional discrete-event engine (:mod:`repro.fl.events`): rounds and
+        #: control actions flow through a deterministic event queue and the
+        #: eligible set is maintained incrementally from availability
+        #: transitions.  ``engine="rounds"`` (the default) keeps the legacy
+        #: loop; both produce bit-identical histories and weights.
+        self.engine = None
+        if self.config.engine == "events":
+            from repro.fl.events import FleetEngine
+
+            self.engine = FleetEngine(self)
+
     def close(self) -> None:
         """Release executor resources (worker processes); idempotent.
 
@@ -337,35 +348,24 @@ class FederatedRuntime:
         if monitor is not None:
             monitor.run_started(self, target_rounds=target)
         try:
-            while len(self.history) < target:
-                self.run_round()
-                completed = len(self.history)
-                if directory is not None and (
-                    completed % checkpoint_every == 0 or completed >= target
-                ):
-                    from repro.fl.checkpoint import capture_runtime, write_checkpoint
-
-                    path = write_checkpoint(
-                        capture_runtime(self), directory, keep_last=keep_checkpoints
-                    )
-                    if monitor is not None:
-                        monitor.checkpoint_written(completed - 1, path)
-                if injector is not None:
-                    try:
-                        injector.after_round(completed - 1)
-                    except BaseException as fault:
-                        # Leave a durable trace of the simulated failure so a
-                        # resumed process knows this one-shot event already fired
-                        # (real crashes need no such bookkeeping — only simulated
-                        # ones are re-executable).
-                        round_index = getattr(fault, "round_index", None)
-                        if directory is not None and round_index is not None:
-                            from repro.fl.checkpoint import record_crash_marker
-
-                            record_crash_marker(directory, round_index)
-                        if monitor is not None:
-                            monitor.fault_injected(completed - 1, fault)
-                        raise
+            if self.engine is not None:
+                self.engine.run(
+                    target,
+                    directory=directory,
+                    checkpoint_every=checkpoint_every,
+                    keep_checkpoints=keep_checkpoints,
+                    injector=injector,
+                )
+            else:
+                while len(self.history) < target:
+                    self.run_round()
+                    completed = len(self.history)
+                    if directory is not None and (
+                        completed % checkpoint_every == 0 or completed >= target
+                    ):
+                        self._write_due_checkpoint(directory, keep_checkpoints)
+                    if injector is not None:
+                        self._consult_injector(injector, completed - 1, directory)
         except BaseException as error:
             if monitor is not None:
                 monitor.run_finished(status="crashed", error=error)
@@ -374,17 +374,53 @@ class FederatedRuntime:
             monitor.run_finished(status="completed")
         return self.history
 
+    def _write_due_checkpoint(self, directory: Path, keep_checkpoints: int) -> None:
+        """Persist a checkpoint for the last completed round (due-check is the
+        caller's: the legacy loop and the event engine share this body)."""
+        from repro.fl.checkpoint import capture_runtime, write_checkpoint
+
+        path = write_checkpoint(
+            capture_runtime(self), directory, keep_last=keep_checkpoints
+        )
+        if self.monitor is not None:
+            self.monitor.checkpoint_written(len(self.history) - 1, path)
+
+    def _consult_injector(self, injector, round_index: int, directory) -> None:
+        """Give the fault injector its post-checkpoint shot at ``round_index``."""
+        try:
+            injector.after_round(round_index)
+        except BaseException as fault:
+            # Leave a durable trace of the simulated failure so a resumed
+            # process knows this one-shot event already fired (real crashes
+            # need no such bookkeeping — only simulated ones are
+            # re-executable).
+            fault_round = getattr(fault, "round_index", None)
+            if directory is not None and fault_round is not None:
+                from repro.fl.checkpoint import record_crash_marker
+
+                record_crash_marker(directory, fault_round)
+            if self.monitor is not None:
+                self.monitor.fault_injected(round_index, fault)
+            raise
+
     def run_round(self) -> RoundRecord:
         """Execute one round under the configured scheduler."""
+        if self.engine is not None:
+            return self.engine.run_round()
         return self.scheduler.run_round(self)
 
     # ------------------------------------------------------------------
     # Scheduler-facing primitives
     # ------------------------------------------------------------------
-    def start_round(self) -> RoundContext:
-        """Sample participants, broadcast the global state, build client tasks."""
+    def start_round(self, eligible: Optional[np.ndarray] = None) -> RoundContext:
+        """Sample participants, broadcast the global state, build client tasks.
+
+        ``eligible`` (sorted client ids) lets the event engine hand over its
+        incrementally maintained eligible set, skipping the full-fleet mask
+        recomputation; ``None`` keeps the legacy mask path.
+        """
         round_index = len(self.history)
-        participants = self._sample_clients(round_index)
+        participants = self._sample_clients(round_index, eligible=eligible)
         learning_rate = (
             self.config.learning_rate * self.config.learning_rate_decay**round_index
         )
@@ -531,7 +567,9 @@ class FederatedRuntime:
     # ------------------------------------------------------------------
     # Sampling and broadcast
     # ------------------------------------------------------------------
-    def _sample_clients(self, round_index: int = 0) -> List[FLClient]:
+    def _sample_clients(
+        self, round_index: int = 0, eligible: Optional[np.ndarray] = None
+    ) -> List[FLClient]:
         """Sample this round's participants.
 
         When a participation schedule is configured, its availability mask
@@ -542,16 +580,22 @@ class FederatedRuntime:
         Without a schedule the seed sampling path is used unchanged (the
         count is taken over the whole fleet), keeping default runs
         bit-identical.
+
+        A pre-computed ``eligible`` array (the event engine's incrementally
+        maintained set, equal to ``np.nonzero(mask)[0]``) bypasses the mask
+        computation; the RNG draw is identical because ``Generator.choice``
+        depends only on the pool size and draw count.
         """
         num_clients = len(self.clients)
-        eligible: Optional[np.ndarray] = None
-        if self.schedule is not None:
+        if eligible is None and self.schedule is not None:
             mask = np.asarray(self.schedule.mask(round_index, num_clients), dtype=bool)
             if mask.shape != (num_clients,):
                 raise ValueError(
                     f"availability mask has shape {mask.shape}, expected ({num_clients},)"
                 )
             eligible = np.nonzero(mask)[0]
+        if eligible is not None:
+            eligible = np.asarray(eligible, dtype=np.int64)
             if eligible.size == 0:
                 return []
 

@@ -64,6 +64,32 @@ class ParticipationSchedule:
         """Boolean availability mask of shape ``(num_clients,)``."""
         raise NotImplementedError
 
+    def transitions(
+        self, round_index: int, num_clients: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(arrivals, departures)`` client-id arrays entering round ``round_index``.
+
+        The availability *event stream* consumed by the event engine
+        (:mod:`repro.fl.events`): ids that became reachable since the
+        previous round and ids that dropped off.  Round 0 diffs against an
+        empty fleet, so its arrivals are exactly ``nonzero(mask(0))``.
+        Applying the stream incrementally reproduces every round's mask bit
+        for bit (asserted in ``tests/fl/test_events.py``).
+
+        The base implementation diffs two full masks — correct for any
+        schedule.  Schedules whose dynamics are sparse (full participation,
+        flash crowds) override this with O(transitions) streams so
+        fleet-size work only happens when the fleet actually changes.
+        """
+        current = np.asarray(self.mask(round_index, num_clients), dtype=bool)
+        if round_index <= 0:
+            previous = np.zeros(num_clients, dtype=bool)
+        else:
+            previous = np.asarray(self.mask(round_index - 1, num_clients), dtype=bool)
+        arrivals = np.nonzero(current & ~previous)[0]
+        departures = np.nonzero(previous & ~current)[0]
+        return arrivals, departures
+
     def state_dict(self) -> dict:
         """JSON-compatible fingerprint of this schedule's configuration.
 
@@ -82,6 +108,14 @@ class FullParticipation(ParticipationSchedule):
 
     def mask(self, round_index: int, num_clients: int) -> np.ndarray:
         return np.ones(num_clients, dtype=bool)
+
+    def transitions(
+        self, round_index: int, num_clients: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        empty = np.empty(0, dtype=np.int64)
+        if round_index <= 0:
+            return np.arange(num_clients, dtype=np.int64), empty
+        return empty, empty
 
 
 class DiurnalSchedule(ParticipationSchedule):
@@ -182,6 +216,24 @@ class FlashCrowdSchedule(ParticipationSchedule):
         if self.join_round <= round_index < self.leave_round:
             mask[start:] = True
         return mask
+
+    def transitions(
+        self, round_index: int, num_clients: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # O(transitions): the core arrives once at round 0, the crowd block
+        # arrives at join_round and departs at leave_round; every other round
+        # is event-free no matter how large the fleet is.
+        empty = np.empty(0, dtype=np.int64)
+        start = self.crowd_start(num_clients)
+        arrivals, departures = empty, empty
+        if round_index <= 0:
+            in_burst = self.join_round <= 0 < self.leave_round
+            arrivals = np.arange(num_clients if in_burst else start, dtype=np.int64)
+        elif round_index == self.join_round:
+            arrivals = np.arange(start, num_clients, dtype=np.int64)
+        if round_index == self.leave_round:
+            departures = np.arange(start, num_clients, dtype=np.int64)
+        return arrivals, departures
 
     def state_dict(self) -> dict:
         return {
@@ -313,6 +365,54 @@ class ClientCrashSchedule:
         return None
 
 
+class CorruptedUpload(RuntimeError):
+    """Marks one client's update as corrupted/truncated in transit.
+
+    Unlike :class:`ClientCrash` the client is perfectly healthy: it trains,
+    compresses and occupies its link for the bytes that travelled.  What
+    arrives, however, fails the server's CRC frame check
+    (:func:`repro.core.serializer.unframe_checksummed` over the wire built by
+    :func:`repro.fl.transport.corrupt_wire_bytes`), so the server rejects the
+    payload and accounts the client as a dropped update with zero accepted
+    bytes.  Picklable via ``__reduce__`` so it crosses the process-executor
+    boundary intact, making the reject path identical across serial, thread
+    and process execution.
+    """
+
+    def __init__(self, round_index: int, client_id: int) -> None:
+        super().__init__(
+            f"update of client {client_id} corrupted in transit during round "
+            f"{round_index}"
+        )
+        self.round_index = int(round_index)
+        self.client_id = int(client_id)
+
+    def __reduce__(self):
+        return (type(self), (self.round_index, self.client_id))
+
+
+class CorruptedUploadSchedule:
+    """Deterministic per-round upload corruption: ``{round_index: [client_ids]}``.
+
+    The corruption counterpart of :class:`ClientCrashSchedule`: a scheduled
+    ``(round, client)`` pair gets a :class:`CorruptedUpload` fault attached
+    to its task, routing its transmission through the checksummed-frame
+    reject path instead of the healthy uplink.
+    """
+
+    def __init__(self, corruptions: Dict[int, Sequence[int]]) -> None:
+        self._corruptions = {
+            int(round_index): frozenset(int(cid) for cid in client_ids)
+            for round_index, client_ids in corruptions.items()
+        }
+
+    def fault_for(self, round_index: int, client_id: int) -> Optional[CorruptedUpload]:
+        """The fault to inject for this (round, client), or ``None``."""
+        if client_id in self._corruptions.get(round_index, frozenset()):
+            return CorruptedUpload(round_index, client_id)
+        return None
+
+
 # ----------------------------------------------------------------------
 # Scenario presets
 # ----------------------------------------------------------------------
@@ -343,6 +443,10 @@ class FleetScenario:
     #: Rounds after which the (simulated) server crashes — resumability
     #: scenarios set this so kill-and-resume is a first-class tested workload.
     crash_after_rounds: Tuple[int, ...] = ()
+    #: Build the transport from one spec per *bandwidth* cycled over the
+    #: fleet instead of one spec per client — O(pattern) memory, the
+    #: mega-fleet convention (see :meth:`repro.fl.transport.Transport.heterogeneous`).
+    cycle_links: bool = False
 
     def with_overrides(self, **overrides) -> "FleetScenario":
         """A copy of this preset with the given fields replaced."""
@@ -362,13 +466,18 @@ class FleetScenario:
         )
         config_kwargs.update(config_overrides)
         config = FLConfig(**config_kwargs)
+        # With cycle_links the spec list covers one full bandwidth cycle and
+        # repeats over the fleet — the exact per-client specs the eager list
+        # would assign (edge_fleet_specs already cycles bandwidths by id).
+        spec_count = len(self.bandwidths_mbps) if self.cycle_links else config.num_clients
         transport = Transport.heterogeneous(
             edge_fleet_specs(
-                config.num_clients,
+                spec_count,
                 bandwidths_mbps=tuple(self.bandwidths_mbps),
                 latency_seconds=self.latency_seconds,
                 dropout_probability=self.dropout_probability,
-            )
+            ),
+            cycle=self.cycle_links,
         )
         scheduler = get_scheduler(self.scheduler_name, **dict(self.scheduler_kwargs))
         schedule = build_schedule(self.schedule_name, seed=seed, **dict(self.schedule_kwargs))
@@ -431,6 +540,23 @@ _SCENARIOS: Dict[str, FleetScenario] = {
             scheduler_kwargs={"mixing_rate": 0.5, "staleness_exponent": 0.5},
             schedule_name="flash-crowd",
             schedule_kwargs={"join_round": 2, "leave_round": 6, "crowd_fraction": 0.5},
+        ),
+        FleetScenario(
+            name="mega-fleet",
+            description=(
+                "100k-client diurnal fleet driven by the discrete-event engine: "
+                "availability compiles to arrival/departure event streams, links "
+                "cycle a four-bandwidth pattern, and each round touches only "
+                "participants + availability transitions (run with "
+                "engine='events')"
+            ),
+            num_clients=100_000,
+            client_fraction=0.0002,
+            rounds=4,
+            schedule_name="diurnal",
+            schedule_kwargs={"period_rounds": 4, "min_availability": 0.2,
+                             "max_availability": 0.9},
+            cycle_links=True,
         ),
         FleetScenario(
             name="unreliable-server",
@@ -507,6 +633,8 @@ __all__ = [
     "SimulatedCrash",
     "ClientCrash",
     "ClientCrashSchedule",
+    "CorruptedUpload",
+    "CorruptedUploadSchedule",
     "FleetScenario",
     "build_schedule",
     "available_scenarios",

@@ -74,6 +74,34 @@ class SynchronousScheduler(RoundScheduler):
             round_seconds=round_seconds,
         )
 
+    def consume_events(self, runtime, context, results, events) -> RoundRecord:
+        """Event form of the barrier: drain every completion, then aggregate.
+
+        Synchronous FedAvg is the degenerate case of the event engine — the
+        round closes at the last completion event (delivered or not), and
+        aggregation still walks ``results`` in task order so float summation
+        order matches :meth:`run_round` exactly.
+        """
+        from repro.fl.events import CLIENT_COMPLETION
+
+        round_seconds = 0.0
+        while events:
+            event = events.pop()
+            if event.kind == CLIENT_COMPLETION:
+                round_seconds = event.time  # pops ascend: last one is the max
+        delivered = [result for result in results if result.delivered]
+        if delivered:
+            runtime.server.aggregate(
+                [result.state for result in delivered],
+                [float(result.update.num_samples) for result in delivered],
+            )
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids={r.client_id for r in delivered},
+            round_seconds=round_seconds,
+        )
+
 
 class SemiSynchronousScheduler(RoundScheduler):
     """FedAvg with a deadline: stragglers are cut, not waited for."""
@@ -107,6 +135,41 @@ class SemiSynchronousScheduler(RoundScheduler):
             if waited_out
             else max((r.turnaround_seconds for r in on_time), default=0.0)
         )
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids={r.client_id for r in on_time},
+            round_seconds=round_seconds,
+        )
+
+    def consume_events(self, runtime, context, results, events) -> RoundRecord:
+        """Event form of the deadline: completions race a deadline event.
+
+        Deliveries popping before the :data:`~repro.fl.events.STRAGGLER_DEADLINE`
+        event are on time; the engine pushes the deadline after the
+        completions, so an update landing at exactly the deadline drains
+        first — reproducing :meth:`run_round`'s ``<=`` comparison.
+        Aggregation walks ``results`` in task order, not pop order.
+        """
+        from repro.fl.events import CLIENT_COMPLETION, STRAGGLER_DEADLINE
+
+        on_time_ids = set()
+        last_on_time = 0.0
+        while events:
+            event = events.pop()
+            if event.kind == STRAGGLER_DEADLINE:
+                break  # everything still queued is a straggler
+            if event.kind == CLIENT_COMPLETION and event.result.delivered:
+                on_time_ids.add(event.client_id)
+                last_on_time = event.time
+        on_time = [r for r in results if r.client_id in on_time_ids]
+        if on_time:
+            runtime.server.aggregate(
+                [result.state for result in on_time],
+                [float(result.update.num_samples) for result in on_time],
+            )
+        waited_out = len(on_time) < len(results)
+        round_seconds = self.deadline_seconds if waited_out else last_on_time
         return runtime.finish_round(
             context,
             results,
@@ -170,6 +233,44 @@ class AsynchronousScheduler(RoundScheduler):
             context,
             results,
             aggregated_ids={r.client_id for r in arrivals},
+            round_seconds=round_seconds,
+            client_weights=weights,
+            client_staleness=staleness_by_client,
+        )
+
+    def consume_events(self, runtime, context, results, events) -> RoundRecord:
+        """Event form of async mixing: apply deliveries in pop order.
+
+        The engine pushes completions in task order (ascending client id), so
+        pop order is ``(turnaround, client_id)`` — exactly :meth:`run_round`'s
+        arrival sort — and each delivered update is mixed in the moment its
+        event fires.
+        """
+        from repro.fl.events import CLIENT_COMPLETION
+
+        weights = {}
+        staleness_by_client = {}
+        aggregated_ids = set()
+        global_state = runtime.server.global_state()
+        staleness = 0
+        round_seconds = 0.0
+        while events:
+            event = events.pop()
+            if event.kind != CLIENT_COMPLETION or not event.result.delivered:
+                continue
+            weight = self.staleness_weight(staleness)
+            global_state = mix_states(global_state, event.result.state, weight)
+            weights[event.client_id] = weight
+            staleness_by_client[event.client_id] = staleness
+            aggregated_ids.add(event.client_id)
+            round_seconds = event.time  # pops ascend: last delivery closes
+            staleness += 1
+        if aggregated_ids:
+            runtime.server.set_global_state(global_state)
+        return runtime.finish_round(
+            context,
+            results,
+            aggregated_ids=aggregated_ids,
             round_seconds=round_seconds,
             client_weights=weights,
             client_staleness=staleness_by_client,

@@ -27,6 +27,11 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.compression.metrics import compression_ratio
+from repro.core.serializer import (
+    frame_checksummed,
+    serialize_named_arrays,
+    unframe_checksummed,
+)
 from repro.network.bandwidth import BandwidthModel, SimulatedChannel
 from repro.network.devices import DeviceProfile, get_device_profile
 from repro.network.timing import CommunicationEstimate, estimate_communication
@@ -225,6 +230,89 @@ def transmit_update(
     return received_state, stats
 
 
+#: Frame magic for client-update uploads pushed through the checksummed
+#: frame (:func:`repro.core.serializer.frame_checksummed`).  Only the
+#: corrupted-upload fault path frames its wire bytes today — the healthy
+#: path ships codec payloads unframed, exactly as before.
+UPLOAD_FRAME_MAGIC = b"FLUP"
+
+
+def corrupt_wire_bytes(payload: bytes) -> bytes:
+    """A checksum-framed copy of ``payload``, truncated in transit.
+
+    The last quarter of the framed bytes (at least one byte) is cut, so the
+    CRC32 recorded in the frame header no longer matches the surviving body
+    and :func:`repro.core.serializer.unframe_checksummed` must reject the
+    upload.  Deterministic — purely length-based — so every executor models
+    the same corruption for the same payload.
+    """
+    framed = frame_checksummed(UPLOAD_FRAME_MAGIC, payload)
+    return framed[: len(framed) - max(1, len(framed) // 4)]
+
+
+def transmit_corrupted_update(
+    state_dict: Mapping[str, np.ndarray],
+    codec,
+    link: ClientLink,
+    lock=None,
+) -> tuple:
+    """Push one client update whose framed payload is corrupted in transit.
+
+    The client does everything the healthy path does on its side — compress
+    (or serialize, for codec-less runs) and occupy the link for the bytes
+    that actually travelled — but the server's frame check
+    (:func:`repro.core.serializer.unframe_checksummed`) rejects what
+    arrives, so the update is accounted exactly like a transit loss:
+    ``delivered=False``, no received state, zero accepted bytes, no
+    decompression.  The link's dropout stream is **not** rolled — the fault
+    pre-empts the loss model, matching how executors skip the pre-roll for
+    faulted tasks — so corrupted rounds stay bit-identical across
+    serial/thread/process execution.
+    """
+    from repro.compression.errors import CorruptPayloadError
+
+    original_nbytes = int(sum(np.asarray(v).nbytes for v in state_dict.values()))
+    guard = lock if lock is not None else contextlib.nullcontext()
+    compress_seconds = 0.0
+    report = None
+    if codec is None:
+        payload = serialize_named_arrays(dict(state_dict))
+    else:
+        with guard:
+            start = time.perf_counter()
+            payload = codec.compress(state_dict)
+            compress_seconds = time.perf_counter() - start
+            report = getattr(codec, "last_report", None)
+
+    wire = corrupt_wire_bytes(payload)
+    record = link.send(wire, description="corrupted client update")
+
+    try:
+        unframe_checksummed(UPLOAD_FRAME_MAGIC, wire)
+    except CorruptPayloadError:
+        pass  # the server-side reject this fault exists to exercise
+    else:  # pragma: no cover - corrupt_wire_bytes guarantees a bad frame
+        raise RuntimeError("corrupted upload unexpectedly passed the frame check")
+
+    if codec is not None and link.device_profile is not None:
+        config = getattr(codec, "config", None)
+        if config is not None:
+            compress_seconds = link.device_profile.compression_seconds(
+                config.lossy_compressor, original_nbytes, config.error_bound
+            )
+
+    stats = TransferStats(
+        payload_nbytes=len(wire),
+        transfer_seconds=record.seconds,
+        compress_seconds=compress_seconds,
+        decompress_seconds=0.0,
+        ratio=compression_ratio(original_nbytes, len(wire)),
+        delivered=False,
+        report=report,
+    )
+    return None, stats
+
+
 class Transport:
     """Per-client uplinks plus the server's broadcast downlink.
 
@@ -232,6 +320,15 @@ class Transport:
     behaviour) or :meth:`heterogeneous` (one independent link per client),
     then :meth:`bind` to a client population.  The runtime calls ``bind``
     automatically.
+
+    Links are **lazy**: ``bind`` records the population size and the seed
+    root, and a :class:`ClientLink` is built the first time its client is
+    touched (``uplink``/``downlink_seconds``).  Each link's dropout stream is
+    seeded by random access into the bind seed's spawn sequence
+    (:meth:`repro.utils.seeding.SeedSequenceFactory.seed_at`), so lazily
+    built links are bit-identical to the previous eagerly built population —
+    at 100k–1M clients a round only pays for the links its participants use.
+    ``links`` holds the materialised subset.
     """
 
     def __init__(
@@ -240,12 +337,16 @@ class Transport:
         default_spec: Optional[LinkSpec] = None,
         share_channel: bool = False,
         channel: Optional[SimulatedChannel] = None,
+        cycle_specs: bool = False,
     ) -> None:
         self._specs: Optional[List[LinkSpec]] = list(specs) if specs is not None else None
         self._default_spec = default_spec or LinkSpec()
         self._share_channel = bool(share_channel or channel is not None)
         self._channel = channel
         self._user_channel = channel is not None
+        self._cycle_specs = bool(cycle_specs)
+        self._num_clients: Optional[int] = None
+        self._seed_factory: Optional[SeedSequenceFactory] = None
         self.links: Dict[int, ClientLink] = {}
 
     # ------------------------------------------------------------------
@@ -275,25 +376,35 @@ class Transport:
         return cls(default_spec=spec, share_channel=True, channel=channel)
 
     @classmethod
-    def heterogeneous(cls, specs: Sequence[LinkSpec]) -> "Transport":
-        """One independent link per client, in client-id order."""
+    def heterogeneous(cls, specs: Sequence[LinkSpec], cycle: bool = False) -> "Transport":
+        """One independent link per client, in client-id order.
+
+        With ``cycle=True`` client ``i`` gets ``specs[i % len(specs)]``, so a
+        short spec pattern serves an arbitrarily large fleet without holding
+        one :class:`LinkSpec` object per client (the mega-fleet convention —
+        :func:`edge_fleet_specs` already cycles bandwidths the same way).
+        """
         if not specs:
             raise ValueError("heterogeneous transport needs at least one LinkSpec")
-        return cls(specs=list(specs))
+        return cls(specs=list(specs), cycle_specs=cycle)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def bind(self, num_clients: int, seed: int = 0) -> None:
-        """Instantiate one link per client.
+        """Bind to a client population; links materialise lazily from here.
 
-        Rebinding (e.g. reusing one transport across two runtimes) rebuilds
-        every link, so dropout streams restart from ``seed`` instead of
-        continuing the previous run's draws.  A user-supplied shared channel
-        is kept (its transfer log spans both runs, as it did in the seed
-        simulation); an auto-created one is replaced.
+        Rebinding (e.g. reusing one transport across two runtimes) drops
+        every materialised link, so dropout streams restart from ``seed``
+        instead of continuing the previous run's draws.  A user-supplied
+        shared channel is kept (its transfer log spans both runs, as it did
+        in the seed simulation); an auto-created one is replaced.
         """
-        if self._specs is not None and len(self._specs) != num_clients:
+        if (
+            self._specs is not None
+            and not self._cycle_specs
+            and len(self._specs) != num_clients
+        ):
             raise ValueError(
                 f"transport has {len(self._specs)} link specs but the runtime has "
                 f"{num_clients} clients"
@@ -305,16 +416,16 @@ class Transport:
                 ),
                 real_sleep=self._default_spec.real_sleep,
             )
-        seeds = SeedSequenceFactory(seed)
+        self._num_clients = int(num_clients)
+        self._seed_factory = SeedSequenceFactory(seed)
         self.links = {}
-        for client_id in range(num_clients):
-            spec = self._specs[client_id] if self._specs is not None else self._default_spec
-            self.links[client_id] = ClientLink(
-                client_id,
-                spec,
-                channel=self._channel if self._share_channel else None,
-                seed=seeds.next_seed(),
-            )
+
+    def _spec_for(self, client_id: int) -> LinkSpec:
+        if self._specs is None:
+            return self._default_spec
+        if self._cycle_specs:
+            return self._specs[client_id % len(self._specs)]
+        return self._specs[client_id]
 
     # ------------------------------------------------------------------
     # Accessors
@@ -330,12 +441,39 @@ class Transport:
         return self._specs is None
 
     def uplink(self, client_id: int) -> ClientLink:
-        """The link carrying ``client_id``'s updates to the server."""
-        return self.links[client_id]
+        """The link carrying ``client_id``'s updates to the server.
+
+        Materialises the link on first access.  The link's dropout seed is
+        the ``client_id``-th child of the bind seed — exactly the seed the
+        eager implementation assigned — so first-touch order never changes
+        any stream.
+        """
+        client_id = int(client_id)
+        link = self.links.get(client_id)
+        if link is not None:
+            return link
+        if self._num_clients is None:
+            raise KeyError(
+                f"transport is not bound to a client population yet "
+                f"(no link for client {client_id}); call bind() first"
+            )
+        if not 0 <= client_id < self._num_clients:
+            raise KeyError(
+                f"client {client_id} is out of range for a transport bound to "
+                f"{self._num_clients} clients"
+            )
+        link = ClientLink(
+            client_id,
+            self._spec_for(client_id),
+            channel=self._channel if self._share_channel else None,
+            seed=self._seed_factory.seed_at(client_id),
+        )
+        self.links[client_id] = link
+        return link
 
     def downlink_seconds(self, num_bytes: int, client_id: int) -> float:
         """Modelled broadcast time to one client (links are symmetric)."""
-        return self.links[client_id].transmission_seconds(num_bytes)
+        return self.uplink(client_id).transmission_seconds(num_bytes)
 
     def total_uplink_seconds(self) -> float:
         """Simulated transfer time accumulated across every link so far."""
@@ -347,11 +485,14 @@ class Transport:
     # Checkpoint support
     # ------------------------------------------------------------------
     def rng_states(self) -> Dict[int, dict]:
-        """Bit-generator state of every link's private dropout stream.
+        """Bit-generator state of every *materialised* link's dropout stream.
 
         Part of a :class:`repro.fl.checkpoint.RunCheckpoint`: dropout draws
         advance round by round, so resuming without them would replay (or
-        skip) packet losses and diverge from the uninterrupted run.
+        skip) packet losses and diverge from the uninterrupted run.  A link
+        that was never materialised has never drawn, so rebuilding it lazily
+        from its seed after resume is already bit-identical — only touched
+        links carry state worth persisting.
         """
         return {
             client_id: link._rng.bit_generator.state
@@ -359,15 +500,24 @@ class Transport:
         }
 
     def restore_rng_states(self, states: Mapping[int, dict]) -> None:
-        """Restore previously captured per-link dropout streams."""
+        """Restore previously captured per-link dropout streams.
+
+        Materialises any link the snapshot names that has not been touched
+        yet (e.g. resuming under a transport that never ran a round).
+        """
+        if self._num_clients is None:
+            raise KeyError(
+                "transport is not bound to a client population yet; bind() "
+                "before restoring link streams"
+            )
         for client_id, state in states.items():
             client_id = int(client_id)
-            if client_id not in self.links:
+            if not 0 <= client_id < self._num_clients:
                 raise KeyError(
                     f"checkpoint carries a dropout stream for client {client_id} "
-                    f"but the transport has links for {len(self.links)} clients"
+                    f"but the transport is bound to {self._num_clients} clients"
                 )
-            self.links[client_id]._rng.bit_generator.state = state
+            self.uplink(client_id)._rng.bit_generator.state = state
 
     def spec_fingerprint(self) -> Dict[str, object]:
         """JSON-compatible description of the link topology, for checkpoint
@@ -377,7 +527,8 @@ class Transport:
 
         if self._specs is None:
             return {"kind": "homogeneous", "spec": asdict(self._default_spec)}
-        return {"kind": "heterogeneous", "specs": [asdict(spec) for spec in self._specs]}
+        kind = "heterogeneous-cycle" if self._cycle_specs else "heterogeneous"
+        return {"kind": kind, "specs": [asdict(spec) for spec in self._specs]}
 
 
 def edge_fleet_specs(

@@ -64,6 +64,20 @@ class SeedSequenceFactory:
         self._spawned += 1
         return int(child.generate_state(1, dtype=np.uint32)[0])
 
+    def seed_at(self, index: int) -> int:
+        """The seed :meth:`next_seed` would return on its ``index``-th call.
+
+        ``SeedSequence.spawn`` derives child ``i`` purely from the root seed
+        and the spawn key ``(i,)``, so the ``i``-th sequential seed can be
+        computed directly — random access for consumers (e.g. lazily
+        materialised transport links) that must match an eagerly seeded
+        population bit for bit without deriving every earlier seed first.
+        """
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        child = np.random.SeedSequence(self.root_seed, spawn_key=(int(index),))
+        return int(child.generate_state(1, dtype=np.uint32)[0])
+
     def next_rng(self) -> np.random.Generator:
         """Return a generator seeded with :meth:`next_seed`."""
         return np.random.default_rng(self.next_seed())

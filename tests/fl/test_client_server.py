@@ -66,6 +66,51 @@ def test_client_evaluate(dataset, model_fn):
     assert metrics["num_samples"] == len(dataset)
 
 
+def test_client_evaluate_is_chunked_and_deterministic(dataset, model_fn):
+    """Bounded-memory evaluation: a dataset that fits one batch reproduces the
+    one-shot forward bit for bit; smaller batches stay deterministic and agree
+    with the one-shot metrics to float tolerance (only the final classifier
+    matmul is sensitive to the row count it sees)."""
+    from repro.nn import functional as F
+    from repro.nn.losses import CrossEntropyLoss
+
+    state = model_fn().state_dict()
+    model = model_fn()
+    model.load_state_dict(dict(state))
+    model.eval()
+    logits = model(dataset.images)
+    one_shot_loss = CrossEntropyLoss()(logits, dataset.labels)
+    one_shot_accuracy = F.accuracy(logits, dataset.labels)
+
+    big = FLClient(0, model_fn, dataset, FLConfig(eval_batch_size=1024), seed=0)
+    metrics = big.evaluate(state)
+    assert metrics["loss"] == one_shot_loss
+    assert metrics["accuracy"] == one_shot_accuracy
+
+    small = FLClient(0, model_fn, dataset, FLConfig(eval_batch_size=32), seed=0)
+    chunked = small.evaluate(state)
+    assert chunked == small.evaluate(state)  # chunking is deterministic
+    np.testing.assert_allclose(chunked["loss"], one_shot_loss, rtol=1e-6)
+    assert chunked["accuracy"] == one_shot_accuracy
+    assert chunked["num_samples"] == float(len(dataset))
+
+
+def test_loader_rng_state_roundtrip(dataset):
+    """The public DataLoader RNG accessors capture and restore the shuffle
+    stream: batches drawn after a restore replay the captured future."""
+    from repro.data.loader import DataLoader
+
+    loader = DataLoader(dataset, batch_size=32, shuffle=True, seed=5)
+    iter(loader)  # advance the stream past its first epoch shuffle
+    state = loader.get_rng_state()
+    first = [labels.copy() for _, labels in loader]
+    loader.set_rng_state(state)
+    replay = [labels.copy() for _, labels in loader]
+    assert len(first) == len(replay)
+    for a, b in zip(first, replay):
+        np.testing.assert_array_equal(a, b)
+
+
 def test_server_aggregate_and_evaluate(dataset, model_fn):
     server = FLServer(model_fn, validation_dataset=dataset, eval_batch_size=64)
     state_a = create_model("resnet50", "tiny", num_classes=10, seed=1).state_dict()

@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine building blocks.
+
+The integration-level equivalence guarantees (event engine == legacy loop,
+bit for bit, across schedulers and executors) live in
+``tests/integration/test_event_engine.py``; this module pins the pieces those
+guarantees are built from: deterministic queue ordering, the
+transitions-vs-mask contract of participation schedules, the incrementally
+maintained eligible set, and the random-access seed derivation lazily built
+transport links rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.config import FLConfig
+from repro.fl.events import (
+    CLIENT_COMPLETION,
+    STRAGGLER_DEADLINE,
+    EligibleSet,
+    Event,
+    EventQueue,
+)
+from repro.fl.scenarios import (
+    DiurnalSchedule,
+    FlashCrowdSchedule,
+    FullParticipation,
+)
+from repro.utils.seeding import SeedSequenceFactory
+
+
+# ----------------------------------------------------------------------
+# EventQueue
+# ----------------------------------------------------------------------
+def test_event_queue_orders_by_time():
+    queue = EventQueue()
+    for t in (3.0, 1.0, 2.0):
+        queue.push(Event(kind=CLIENT_COMPLETION, time=t))
+    assert [queue.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+    assert not queue
+
+
+def test_event_queue_breaks_time_ties_by_push_order():
+    """Two events at the same instant pop in push order — the property the
+    semi-sync deadline semantics (completion at t == deadline drains first)
+    are built on."""
+    queue = EventQueue()
+    queue.push(Event(kind=CLIENT_COMPLETION, time=5.0, client_id=7))
+    queue.push(Event(kind=STRAGGLER_DEADLINE, time=5.0))
+    queue.push(Event(kind=CLIENT_COMPLETION, time=5.0, client_id=2))
+    kinds = [queue.pop() for _ in range(3)]
+    assert [e.kind for e in kinds] == [
+        CLIENT_COMPLETION,
+        STRAGGLER_DEADLINE,
+        CLIENT_COMPLETION,
+    ]
+    assert kinds[0].client_id == 7  # push order, not id order
+    assert kinds[2].client_id == 2
+
+
+def test_event_queue_peek_and_len():
+    queue = EventQueue()
+    queue.push(Event(kind=CLIENT_COMPLETION, time=2.5))
+    queue.push(Event(kind=CLIENT_COMPLETION, time=1.5))
+    assert len(queue) == 2
+    assert queue.peek_time() == 1.5
+    queue.pop()
+    assert len(queue) == 1
+
+
+# ----------------------------------------------------------------------
+# Schedule transitions == mask diffs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        FullParticipation(),
+        DiurnalSchedule(period_rounds=4, min_availability=0.2, max_availability=0.9, seed=3),
+        FlashCrowdSchedule(join_round=2, leave_round=5, crowd_fraction=0.5),
+    ],
+    ids=["full", "diurnal", "flash-crowd"],
+)
+def test_transitions_match_mask_diffs(schedule):
+    """Every schedule's arrival/departure stream must reproduce the diff of
+    consecutive availability masks (round 0 diffs against an empty fleet)."""
+    num_clients = 64
+    previous = np.zeros(num_clients, dtype=bool)
+    for round_index in range(10):
+        current = np.asarray(schedule.mask(round_index, num_clients), dtype=bool)
+        arrivals, departures = schedule.transitions(round_index, num_clients)
+        np.testing.assert_array_equal(arrivals, np.nonzero(current & ~previous)[0])
+        np.testing.assert_array_equal(departures, np.nonzero(previous & ~current)[0])
+        previous = current
+
+
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        FullParticipation(),
+        DiurnalSchedule(period_rounds=4, min_availability=0.2, max_availability=0.9, seed=3),
+        FlashCrowdSchedule(join_round=2, leave_round=5, crowd_fraction=0.5),
+    ],
+    ids=["full", "diurnal", "flash-crowd"],
+)
+def test_eligible_set_tracks_masks_incrementally(schedule):
+    """Folding the transition stream into an EligibleSet reproduces
+    ``np.nonzero(mask)[0]`` bit for bit at every round."""
+    num_clients = 64
+    eligible = EligibleSet()
+    for round_index in range(10):
+        eligible.apply(*schedule.transitions(round_index, num_clients))
+        mask = np.asarray(schedule.mask(round_index, num_clients), dtype=bool)
+        expected = np.nonzero(mask)[0]
+        np.testing.assert_array_equal(eligible.ids(), expected)
+        assert eligible.ids().dtype == np.int64
+        assert len(eligible) == int(expected.size)
+
+
+def test_eligible_set_counts_touches():
+    eligible = EligibleSet()
+    eligible.apply(np.array([1, 3, 5]), np.array([], dtype=np.int64))
+    eligible.apply(np.array([2]), np.array([3]))
+    assert sorted(eligible.ids().tolist()) == [1, 2, 5]
+    assert eligible.touched == 5
+    eligible.reset_from_mask(np.array([True, False, True, False]))
+    assert eligible.ids().tolist() == [0, 2]
+    assert eligible.touched == 9  # the rebuild is a full-fleet touch
+
+
+# ----------------------------------------------------------------------
+# Config + seed plumbing the engine depends on
+# ----------------------------------------------------------------------
+def test_flconfig_validates_engine():
+    assert FLConfig().engine == "rounds"
+    assert FLConfig(engine="events").engine == "events"
+    with pytest.raises(ValueError):
+        FLConfig(engine="warp")
+
+
+def test_seed_at_matches_sequential_derivation():
+    """Random access into the spawn sequence equals sequential spawning — the
+    property lazily materialised transport links rely on to match an eagerly
+    seeded population."""
+    sequential = SeedSequenceFactory(42)
+    expected = [sequential.next_seed() for _ in range(16)]
+    random_access = SeedSequenceFactory(42)
+    assert [random_access.seed_at(i) for i in range(16)] == expected
+    assert random_access.seed_at(3) == expected[3]  # revisiting is stable
+    with pytest.raises(ValueError):
+        random_access.seed_at(-1)

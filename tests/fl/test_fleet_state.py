@@ -313,7 +313,13 @@ def test_bad_mask_shape_raises(data, model_fn):
 # ----------------------------------------------------------------------
 def test_available_scenarios_names():
     names = [scenario.name for scenario in available_scenarios()]
-    assert names == ["diurnal", "flash-crowd", "uniform-edge", "unreliable-server"]
+    assert names == [
+        "diurnal",
+        "flash-crowd",
+        "mega-fleet",
+        "uniform-edge",
+        "unreliable-server",
+    ]
 
 
 def test_get_scenario_overrides():

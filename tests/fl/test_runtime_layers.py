@@ -81,7 +81,9 @@ def test_homogeneous_transport_shares_one_channel():
     transport.bind(3, seed=0)
     assert transport.is_homogeneous
     assert transport.channel is not None
-    assert all(link.channel is transport.channel for link in transport.links.values())
+    # Links are lazy: touching each client materialises its link on demand.
+    links = [transport.uplink(client_id) for client_id in range(3)]
+    assert all(link.channel is transport.channel for link in links)
 
 
 def test_heterogeneous_transport_has_independent_links():
@@ -90,7 +92,8 @@ def test_heterogeneous_transport_has_independent_links():
     transport.bind(3, seed=0)
     assert not transport.is_homogeneous
     assert transport.channel is None
-    links = list(transport.links.values())
+    assert transport.links == {}  # nothing materialised until first touch
+    links = [transport.uplink(client_id) for client_id in range(3)]
     assert len({id(link.channel) for link in links}) == 3
     assert links[0].spec.bandwidth_mbps == 5.0
     assert links[1].spec.bandwidth_mbps == 50.0
