@@ -1,0 +1,914 @@
+"""Project-wide symbol table and call graph for ``repro lint --deep``.
+
+The shallow engine (:mod:`repro.analysis.engine`) hands each rule one module
+at a time; the properties the integration suites actually enforce — lock
+discipline, pickle-safety across the fork boundary, clock/RNG taint reaching
+deterministic fields — are *whole-program* properties.  This module builds
+the shared substrate every deep rule consumes:
+
+* a **symbol table**: every module, class and function under the linted
+  paths, keyed by fully-qualified dotted name (``repro.fl.events.EventQueue``);
+* a **call graph**: resolved call edges through import aliases, ``self.``
+  method dispatch, ``super()`` dispatch, decorator application and
+  ``register_*``-style callback registration;
+* **per-entity facts** extracted in one AST pass per module — attribute
+  access discipline (read/write/mutate × under-which-lock), annotated field
+  types, local taint summaries (see :mod:`repro.analysis.dataflow`), event
+  ``kind`` pushes and dispatch comparisons, checkpoint-protocol coverage —
+  so each deep rule is a pure graph/set computation over plain data.
+
+Because rules consume *facts* rather than ASTs, the whole index serializes
+to JSON.  :meth:`ProjectIndex.load_or_build` keys an on-disk cache on a
+content hash over every input file, so a rerun with unchanged sources skips
+parsing entirely (the expensive part) and deep lint becomes a cache read
+plus set algebra.  Any edited byte changes the digest and forces a rebuild.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import ModuleContext
+
+#: Bump when the extracted fact schema changes: stale cache files from an
+#: older extractor must miss, not half-deserialize.
+INDEX_FORMAT_VERSION = 1
+
+#: Cache directory created next to the linted tree (gitignored).
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: ``threading`` primitives whose ``self.<attr> = threading.X()`` binding
+#: makes a class *lock-owning* for the CONC rules.  ``Condition`` counts: its
+#: default internal lock is an RLock and ``with self._condition:`` is the
+#: guard idiom the pool uses.
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+#: Method calls that mutate their receiver in place (``self.x.append(...)``
+#: is a write to ``x`` for lock-discipline and checkpoint-coverage purposes).
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "update", "pop",
+    "popleft", "popitem", "remove", "discard", "clear", "setdefault",
+    "push", "sort", "reverse",
+})
+
+#: RNG draw methods: calling one advances the generator's hidden state, so a
+#: draw on ``self._rng`` *evolves* the attribute exactly like an assignment
+#: (the checkpoint protocol must capture it or resume diverges).
+_RNG_DRAW_METHODS = frozenset({
+    "normal", "standard_normal", "uniform", "random", "integers", "choice",
+    "shuffle", "permutation", "laplace", "exponential", "poisson",
+    "binomial", "bytes",
+})
+
+#: Wall-clock callables that are banned as *values* too: binding
+#: ``time.time`` to an attribute dodges DET002's call-site check, so the
+#: deep taint rule flags the binding itself (suppressible where sanctioned).
+_BANNED_CLOCK_VALUES = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Timing calls whose results are tainted (mirrors rule_wallclock).
+_TIMING_SOURCES = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+}) | _BANNED_CLOCK_VALUES
+
+#: Host-entropy calls whose results are tainted with the ``entropy`` atom.
+_ENTROPY_SOURCES = frozenset({
+    "os.urandom", "uuid.uuid4", "uuid.uuid1",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+})
+
+#: ``default_rng()`` / ``SeedSequence()`` with **no arguments** seed from OS
+#: entropy — a determinism hazard DET001 cannot see (the call itself is legal
+#: when seeded).
+_ENTROPY_IF_UNSEEDED = frozenset({
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+})
+
+
+def module_name_for_path(path) -> str:
+    """Dotted module name for ``path`` by walking up ``__init__.py`` parents.
+
+    ``src/repro/fl/events.py`` → ``repro.fl.events`` (``src`` has no
+    ``__init__.py``, so the package root is ``repro``).  A loose file with no
+    package parents is just its stem.  Used for real files; in-memory sources
+    go through :func:`module_name_for_source_path`.
+    """
+    p = Path(path)
+    parts: List[str] = [] if p.stem == "__init__" else [p.stem]
+    parent = p.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else p.stem
+
+
+def module_name_for_source_path(path: str) -> str:
+    """Dotted module name from a path *string* (no filesystem access).
+
+    Strips everything up to and including a ``src`` component, then joins the
+    rest — the convention the fixture tests already use
+    (``src/repro/fake/module.py`` → ``repro.fake.module``).
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "module"
+
+
+# ----------------------------------------------------------------------
+# Fact dataclasses (everything here round-trips through JSON)
+# ----------------------------------------------------------------------
+@dataclass
+class CallSite:
+    """One resolved call: who is called, from where, with which tainted args."""
+
+    callee: str
+    line: int
+    col: int
+    #: ``[(param_name_or_positional_index, [taint atoms...]), ...]`` for
+    #: arguments whose expression carried any taint atom (see dataflow.py).
+    tainted_args: List[Tuple[str, List[str]]] = field(default_factory=list)
+
+
+@dataclass
+class AttributeAccess:
+    """One ``self.<attr>`` access inside a method."""
+
+    attr: str
+    kind: str  # "read" | "write" | "mutate"
+    method: str
+    line: int
+    col: int
+    #: Name of the lock attribute whose ``with self.<lock>:`` block encloses
+    #: this access, or ``None`` when unguarded.
+    under_lock: Optional[str] = None
+
+
+@dataclass
+class FieldFact:
+    """One annotated class-level field and its resolved type names."""
+
+    name: str
+    line: int
+    col: int
+    #: Every identifier in the annotation, resolved where possible
+    #: (``LinkSpec`` → ``repro.fl.transport.LinkSpec``) plus the raw tail
+    #: names (for forbidden-type matching on unresolvable externals).
+    type_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SinkFact:
+    """A value flowing into a deterministic field or checkpoint state."""
+
+    sink: str  # field name, or "<checkpoint-state>"
+    line: int
+    col: int
+    atoms: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FunctionFact:
+    """One module-level function or method, with its local taint summary."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    col: int
+    class_name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    decorators: List[str] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    #: Taint atoms the return value may carry (see dataflow.py).
+    return_atoms: List[str] = field(default_factory=list)
+    sinks: List[SinkFact] = field(default_factory=list)
+
+
+@dataclass
+class ClassFact:
+    """One class: fields, methods, lock discipline, checkpoint coverage."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    col: int
+    bases: List[str] = field(default_factory=list)
+    is_dataclass: bool = False
+    worker_crossing: bool = False
+    defines_deterministic_rows: bool = False
+    fields: List[FieldFact] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    lock_attrs: List[str] = field(default_factory=list)
+    accesses: List[AttributeAccess] = field(default_factory=list)
+    #: ``self.<attr>`` names referenced anywhere inside ``checkpoint_state``.
+    checkpoint_reads: List[str] = field(default_factory=list)
+    #: ``self.<attr>`` names (re)assigned or mutated in
+    #: ``restore_checkpoint_state``.
+    restore_writes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleFact:
+    """Per-module facts that are not per-function or per-class."""
+
+    path: str
+    module: str
+    #: ``{line: [RULE, ...]}`` copied from the shallow engine's suppression
+    #: scan, so deep findings honour the same inline-disable comments.
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+    #: Module-level string constants: ``{local_name: (qualname, line, col)}``.
+    constants: Dict[str, Tuple[str, int, int]] = field(default_factory=dict)
+    #: Constant qualnames used as the ``kind=`` of a constructed event, with
+    #: one representative push site each.
+    kind_pushes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Constant qualnames some ``<expr>.kind`` is compared against.
+    kind_dispatches: List[str] = field(default_factory=list)
+    #: ``{SET_NAME: [entries...]}`` for DETERMINISTIC_*/OBSERVATIONAL_*
+    #: field-classification frozensets (see rule_exhaustiveness).
+    classification_sets: Dict[str, List[str]] = field(default_factory=dict)
+    has_deterministic_rows: bool = False
+    #: Banned wall-clock callables referenced as *values*: ``(qualname,
+    #: line, col)`` per binding.
+    clock_bindings: List[Tuple[str, int, int]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _shallow_walk(node: ast.AST, *, skip_types=(ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+    """Yield descendants of ``node`` without entering nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, skip_types):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+class _ModuleExtractor:
+    """One-pass fact extraction for a single module."""
+
+    def __init__(self, context: ModuleContext, module_name: str) -> None:
+        self.ctx = context
+        self.module = module_name
+        self.module_fact = ModuleFact(
+            path=context.path,
+            module=module_name,
+            suppressions={
+                line: sorted(rules) for line, rules in context.suppressions.items()
+            },
+        )
+        self.functions: List[FunctionFact] = []
+        self.classes: List[ClassFact] = []
+        #: Module-level definition names, for resolving local references.
+        self._local_defs: Set[str] = set()
+
+    # -- name resolution ------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Qualname of a Name/Attribute chain: imports first, then module
+        locals (``CLIENT_COMPLETION`` defined here → ``<module>.CLIENT_COMPLETION``)."""
+        resolved = self.ctx.resolve(node)
+        if resolved is not None:
+            # Normalise the one alias the taint sources care about.
+            return resolved.replace("np.", "numpy.", 1) if resolved.startswith("np.") else resolved
+        dotted = self.ctx.dotted_name(node)
+        if dotted is None:
+            return None
+        head = dotted.partition(".")[0]
+        if head in self._local_defs:
+            return f"{self.module}.{dotted}"
+        return None
+
+    # -- extraction entry point -----------------------------------------
+    def extract(self) -> None:
+        tree = self.ctx.tree
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self._local_defs.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._local_defs.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self._local_defs.add(node.target.id)
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.append(self._extract_function(node, class_name=None, class_fact=None))
+            elif isinstance(node, ast.ClassDef):
+                self._extract_class(node)
+            elif isinstance(node, ast.Assign):
+                self._extract_module_constant(node)
+
+        self._extract_kind_usage(tree)
+        self._extract_clock_bindings(tree)
+
+    # -- module-level constants and classification sets ------------------
+    def _extract_module_constant(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            self.module_fact.constants[name] = (
+                f"{self.module}.{name}", node.lineno, node.col_offset,
+            )
+            return
+        entries = self._string_set_entries(value)
+        if entries is not None and (
+            name.startswith("DETERMINISTIC_") or name.startswith("OBSERVATIONAL_")
+        ) and name.endswith("_FIELDS"):
+            self.module_fact.classification_sets[name] = entries
+
+    @staticmethod
+    def _string_set_entries(value: ast.AST) -> Optional[List[str]]:
+        """Entries of a ``frozenset({...})`` / set / tuple / list of strings."""
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) and value.func.id in ("frozenset", "set") and len(value.args) == 1:
+            value = value.args[0]
+        if not isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            return None
+        entries: List[str] = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            entries.append(element.value)
+        return entries
+
+    # -- event kinds ------------------------------------------------------
+    def _extract_kind_usage(self, tree: ast.Module) -> None:
+        fact = self.module_fact
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg != "kind":
+                        continue
+                    resolved = self.resolve(keyword.value)
+                    if resolved is not None and resolved not in fact.kind_pushes:
+                        fact.kind_pushes[resolved] = (node.lineno, node.col_offset)
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if not any(
+                    isinstance(side, ast.Attribute) and side.attr == "kind"
+                    for side in sides
+                ):
+                    continue
+                if not all(isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)) for op in node.ops):
+                    continue
+                for side in sides:
+                    if isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+                        candidates = side.elts
+                    else:
+                        candidates = [side]
+                    for candidate in candidates:
+                        resolved = self.resolve(candidate)
+                        if resolved is not None and resolved not in fact.kind_dispatches:
+                            fact.kind_dispatches.append(resolved)
+
+    # -- clock-value bindings --------------------------------------------
+    def _extract_clock_bindings(self, tree: ast.Module) -> None:
+        call_funcs = {
+            id(node.func) for node in ast.walk(tree) if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if id(node) in call_funcs:
+                continue  # a call site — DET002's territory
+            resolved = self.resolve(node)
+            if resolved in _BANNED_CLOCK_VALUES:
+                self.module_fact.clock_bindings.append(
+                    (resolved, node.lineno, node.col_offset)
+                )
+        # An Attribute's inner Name would double-report; keep outermost only.
+        self.module_fact.clock_bindings = _outermost_only(self.module_fact.clock_bindings)
+
+    # -- classes ----------------------------------------------------------
+    def _extract_class(self, cls: ast.ClassDef) -> None:
+        from repro.analysis.rule_fork_safety import _is_worker_crossing
+
+        fact = ClassFact(
+            qualname=f"{self.module}.{cls.name}",
+            name=cls.name,
+            path=self.ctx.path,
+            line=cls.lineno,
+            col=cls.col_offset,
+            worker_crossing=_is_worker_crossing(self.ctx, cls),
+        )
+        for base in cls.bases:
+            resolved = self.resolve(base) or self.ctx.dotted_name(base)
+            if resolved:
+                fact.bases.append(resolved)
+        for decorator in cls.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = self.resolve(target) or self.ctx.dotted_name(target) or ""
+            if resolved.rpartition(".")[2] == "dataclass":
+                fact.is_dataclass = True
+
+        for item in cls.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                fact.fields.append(
+                    FieldFact(
+                        name=item.target.id,
+                        line=item.lineno,
+                        col=item.col_offset,
+                        type_names=self._annotation_names(item.annotation),
+                    )
+                )
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fact.methods.append(item.name)
+                if item.name == "deterministic_rows":
+                    fact.defines_deterministic_rows = True
+                    self.module_fact.has_deterministic_rows = True
+
+        # Lock attributes first (they shape the access pass).
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(item):
+                if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                    continue
+                resolved = self.resolve(node.value.func) or ""
+                if resolved not in _LOCK_FACTORIES and resolved.rpartition(".")[2] not in {
+                    factory.rpartition(".")[2] for factory in _LOCK_FACTORIES
+                }:
+                    continue
+                if not resolved.startswith("threading.") and resolved not in _LOCK_FACTORIES:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in fact.lock_attrs
+                    ):
+                        fact.lock_attrs.append(target.attr)
+
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_accesses(item, fact)
+                self.functions.append(
+                    self._extract_function(item, class_name=cls.name, class_fact=fact)
+                )
+        self.classes.append(fact)
+
+    def _annotation_names(self, annotation: ast.AST) -> List[str]:
+        names: List[str] = []
+        for node in ast.walk(annotation):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                resolved = self.resolve(node)
+                dotted = self.ctx.dotted_name(node)
+                for candidate in (resolved, dotted):
+                    if candidate and candidate not in names:
+                        names.append(candidate)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # String annotation: pull identifiers out and resolve each.
+                try:
+                    parsed = ast.parse(node.value, mode="eval")
+                except SyntaxError:
+                    continue
+                names.extend(
+                    name for name in self._annotation_names(parsed.body)
+                    if name not in names
+                )
+        return names
+
+    def _extract_accesses(self, method: ast.FunctionDef, fact: ClassFact) -> None:
+        """Record every ``self.<attr>`` read/write/mutate with lock context."""
+        lock_attrs = set(fact.lock_attrs)
+        accesses = fact.accesses
+
+        def self_attr(node: ast.AST) -> Optional[str]:
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                return node.attr
+            return None
+
+        def visit(node: ast.AST, under: Optional[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)) and node is not method:
+                return
+            if isinstance(node, ast.With):
+                held = under
+                for item in node.items:
+                    attr = self_attr(item.context_expr)
+                    if attr in lock_attrs:
+                        held = attr
+                for item in node.items:
+                    visit(item.context_expr, under)
+                for stmt in node.body:
+                    visit(stmt, held)
+                return
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = self_attr(target)
+                    if attr is not None:
+                        accesses.append(AttributeAccess(attr, "write", method.name, target.lineno, target.col_offset, under))
+                    else:
+                        base = self_attr(getattr(target, "value", None))
+                        if base is not None and isinstance(target, (ast.Attribute, ast.Subscript)):
+                            accesses.append(AttributeAccess(base, "mutate", method.name, target.lineno, target.col_offset, under))
+                        else:
+                            visit(target, under)
+                if isinstance(node, ast.AugAssign):
+                    attr = self_attr(node.target)
+                    # += reads then writes; the write entry above covers both.
+                visit(node.value, under) if node.value is not None else None
+                return
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    base = self_attr(func.value)
+                    if base is not None and base not in lock_attrs and (
+                        func.attr in _MUTATOR_METHODS or func.attr in _RNG_DRAW_METHODS
+                    ):
+                        accesses.append(AttributeAccess(base, "mutate", method.name, func.lineno, func.col_offset, under))
+                    elif base is not None:
+                        visit(func.value, under)
+                    else:
+                        visit(func, under)
+                else:
+                    visit(func, under)
+                for arg in node.args:
+                    visit(arg, under)
+                for keyword in node.keywords:
+                    visit(keyword.value, under)
+                return
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                attr = self_attr(node)
+                if attr is not None and attr not in lock_attrs:
+                    accesses.append(AttributeAccess(attr, "read", method.name, node.lineno, node.col_offset, under))
+                    return
+            for child in ast.iter_child_nodes(node):
+                visit(child, under)
+
+        for statement in method.body:
+            visit(statement, None)
+
+        if method.name == "checkpoint_state":
+            fact.checkpoint_reads = sorted({
+                access.attr for access in accesses
+                if access.method == "checkpoint_state"
+            })
+        if method.name == "restore_checkpoint_state":
+            fact.restore_writes = sorted({
+                access.attr for access in accesses
+                if access.method == "restore_checkpoint_state"
+                and access.kind in ("write", "mutate")
+            })
+
+    # -- functions and local taint ----------------------------------------
+    def _extract_function(
+        self, fn: ast.FunctionDef, class_name: Optional[str], class_fact: Optional[ClassFact]
+    ) -> FunctionFact:
+        qualname = (
+            f"{self.module}.{class_name}.{fn.name}" if class_name else f"{self.module}.{fn.name}"
+        )
+        fact = FunctionFact(
+            qualname=qualname,
+            name=fn.name,
+            path=self.ctx.path,
+            line=fn.lineno,
+            col=fn.col_offset,
+            class_name=class_name,
+            params=[arg.arg for arg in fn.args.args if arg.arg != "self"],
+        )
+        for decorator in fn.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = self.resolve(target) or self.ctx.dotted_name(target)
+            if resolved:
+                fact.decorators.append(resolved)
+
+        from repro.analysis.dataflow import LocalTaint
+
+        taint = LocalTaint(self, fn, class_name=class_name)
+        taint.run()
+        fact.calls = taint.calls
+        fact.return_atoms = sorted(taint.return_atoms)
+        fact.sinks = taint.sinks
+        return fact
+
+
+def _outermost_only(bindings: List[Tuple[str, int, int]]) -> List[Tuple[str, int, int]]:
+    """Collapse (qualname, line, col) duplicates at the same line, keeping
+    the smallest column (the outermost expression)."""
+    best: Dict[Tuple[str, int], Tuple[str, int, int]] = {}
+    for qualname, line, col in bindings:
+        key = (qualname, line)
+        if key not in best or col < best[key][2]:
+            best[key] = (qualname, line, col)
+    return sorted(best.values(), key=lambda entry: (entry[1], entry[2]))
+
+
+# ----------------------------------------------------------------------
+# The index
+# ----------------------------------------------------------------------
+class ProjectIndex:
+    """Symbol table + call graph + facts for one set of source files."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleFact] = {}  # keyed by path
+        self.functions: Dict[str, FunctionFact] = {}
+        self.classes: Dict[str, ClassFact] = {}
+        #: Set when the index came from the on-disk cache.
+        self.from_cache: bool = False
+        self._line_cache: Dict[str, List[str]] = {}
+        self._tainted_returns: Optional[Dict[str, Set[str]]] = None
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_sources(
+        cls, sources: Sequence[Tuple[str, str]], module_names: Optional[Dict[str, str]] = None
+    ) -> "ProjectIndex":
+        """Build from in-memory ``(path, source)`` pairs (fixture-friendly)."""
+        index = cls()
+        for path, source in sources:
+            context = ModuleContext(path, source)
+            name = (module_names or {}).get(path) or module_name_for_source_path(path)
+            extractor = _ModuleExtractor(context, name)
+            extractor.extract()
+            index.modules[context.path] = extractor.module_fact
+            for fn in extractor.functions:
+                index.functions[fn.qualname] = fn
+            for klass in extractor.classes:
+                index.classes[klass.qualname] = klass
+            index._line_cache[context.path] = context.lines
+        return index
+
+    @classmethod
+    def build(cls, files: Sequence) -> "ProjectIndex":
+        """Parse and extract every file (the cold path)."""
+        sources = []
+        names = {}
+        for file_path in files:
+            path = Path(file_path)
+            posix = path.as_posix()
+            sources.append((posix, path.read_text(encoding="utf-8")))
+            names[posix] = module_name_for_path(path)
+        return cls.from_sources(sources, module_names=names)
+
+    @classmethod
+    def load_or_build(
+        cls, files: Sequence, cache_dir: Optional[Path | str] = DEFAULT_CACHE_DIR
+    ) -> "ProjectIndex":
+        """Content-hash-keyed cached build.
+
+        The digest covers the format version and every file's path + bytes;
+        any edit anywhere forces a rebuild, an untouched tree loads the
+        serialized facts without parsing a single module.
+        """
+        if cache_dir is None:
+            return cls.build(files)
+        digest = hashlib.sha256(f"v{INDEX_FORMAT_VERSION}".encode())
+        ordered = sorted(Path(f) for f in files)
+        for path in ordered:
+            digest.update(path.as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+        cache_path = Path(cache_dir) / f"callgraph-{digest.hexdigest()[:24]}.json"
+        if cache_path.exists():
+            try:
+                index = cls.from_payload(json.loads(cache_path.read_text(encoding="utf-8")))
+                index.from_cache = True
+                return index
+            except (ValueError, KeyError, TypeError):
+                pass  # corrupt/stale cache: rebuild below
+        index = cls.build(ordered)
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps(index.to_payload()), encoding="utf-8")
+        # Keep the cache bounded: drop older digests.
+        siblings = sorted(
+            cache_path.parent.glob("callgraph-*.json"), key=lambda p: p.stat().st_mtime
+        )
+        for stale in siblings[:-4]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        return index
+
+    # -- serialization ----------------------------------------------------
+    def to_payload(self) -> Dict:
+        return {
+            "format": INDEX_FORMAT_VERSION,
+            "modules": {path: asdict(fact) for path, fact in self.modules.items()},
+            "functions": {q: asdict(fact) for q, fact in self.functions.items()},
+            "classes": {q: asdict(fact) for q, fact in self.classes.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "ProjectIndex":
+        if payload.get("format") != INDEX_FORMAT_VERSION:
+            raise ValueError(f"unsupported index format {payload.get('format')!r}")
+        index = cls()
+        for path, raw in payload["modules"].items():
+            fact = ModuleFact(
+                path=raw["path"],
+                module=raw["module"],
+                suppressions={int(k): list(v) for k, v in raw["suppressions"].items()},
+                constants={k: tuple(v) for k, v in raw["constants"].items()},
+                kind_pushes={k: tuple(v) for k, v in raw["kind_pushes"].items()},
+                kind_dispatches=list(raw["kind_dispatches"]),
+                classification_sets={k: list(v) for k, v in raw["classification_sets"].items()},
+                has_deterministic_rows=bool(raw["has_deterministic_rows"]),
+                clock_bindings=[tuple(entry) for entry in raw["clock_bindings"]],
+            )
+            index.modules[path] = fact
+        for qualname, raw in payload["functions"].items():
+            index.functions[qualname] = FunctionFact(
+                qualname=raw["qualname"], name=raw["name"], path=raw["path"],
+                line=raw["line"], col=raw["col"], class_name=raw["class_name"],
+                params=list(raw["params"]), decorators=list(raw["decorators"]),
+                calls=[
+                    CallSite(
+                        callee=c["callee"], line=c["line"], col=c["col"],
+                        tainted_args=[(k, list(a)) for k, a in c["tainted_args"]],
+                    )
+                    for c in raw["calls"]
+                ],
+                return_atoms=list(raw["return_atoms"]),
+                sinks=[SinkFact(s["sink"], s["line"], s["col"], list(s["atoms"])) for s in raw["sinks"]],
+            )
+        for qualname, raw in payload["classes"].items():
+            index.classes[qualname] = ClassFact(
+                qualname=raw["qualname"], name=raw["name"], path=raw["path"],
+                line=raw["line"], col=raw["col"], bases=list(raw["bases"]),
+                is_dataclass=bool(raw["is_dataclass"]),
+                worker_crossing=bool(raw["worker_crossing"]),
+                defines_deterministic_rows=bool(raw["defines_deterministic_rows"]),
+                fields=[FieldFact(f["name"], f["line"], f["col"], list(f["type_names"])) for f in raw["fields"]],
+                methods=list(raw["methods"]),
+                lock_attrs=list(raw["lock_attrs"]),
+                accesses=[
+                    AttributeAccess(a["attr"], a["kind"], a["method"], a["line"], a["col"], a["under_lock"])
+                    for a in raw["accesses"]
+                ],
+                checkpoint_reads=list(raw["checkpoint_reads"]),
+                restore_writes=list(raw["restore_writes"]),
+            )
+        return index
+
+    # -- graph queries -----------------------------------------------------
+    def call_edges(self) -> Dict[str, Set[str]]:
+        """``{caller_qualname: {callee_qualname, ...}}`` including decorator
+        application and ``register_*`` callback registration edges."""
+        edges: Dict[str, Set[str]] = {}
+        for fn in self.functions.values():
+            targets = edges.setdefault(fn.qualname, set())
+            for call in fn.calls:
+                callee = self.resolve_callee(fn, call.callee)
+                if callee is not None:
+                    targets.add(callee)
+            for decorator in fn.decorators:
+                if decorator in self.functions:
+                    targets.add(decorator)
+        return edges
+
+    def callers_of(self, qualname: str) -> Set[str]:
+        return {
+            caller for caller, callees in self.call_edges().items()
+            if qualname in callees
+        }
+
+    def resolve_callee(self, caller: FunctionFact, callee: str) -> Optional[str]:
+        """Map a recorded call target onto a known function, if any.
+
+        Handles the spellings the extractor records: already-qualified names,
+        ``self.<method>`` (dispatch within the class, then base classes) and
+        ``super().<method>`` (base classes only).
+        """
+        if callee in self.functions:
+            return callee
+        if callee.startswith("self.") and caller.class_name is not None:
+            method = callee[len("self."):]
+            owner = f"{caller.qualname.rsplit('.', 1)[0]}"
+            return self._resolve_method(owner, method, include_own=True)
+        if callee.startswith("super.") and caller.class_name is not None:
+            method = callee[len("super."):]
+            owner = f"{caller.qualname.rsplit('.', 1)[0]}"
+            return self._resolve_method(owner, method, include_own=False)
+        # Class construction: Foo(...) calls Foo.__init__ when known.
+        init = f"{callee}.__init__"
+        if init in self.functions:
+            return init
+        return None
+
+    def _resolve_method(self, class_qualname: str, method: str, include_own: bool) -> Optional[str]:
+        seen: Set[str] = set()
+        queue = [class_qualname]
+        first = True
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            if (include_own or not first) and f"{current}.{method}" in self.functions:
+                return f"{current}.{method}"
+            klass = self.classes.get(current)
+            if klass is not None:
+                queue.extend(base for base in klass.bases if base in self.classes)
+            first = False
+        return None
+
+    def registered_callables(self) -> Set[str]:
+        """Functions/classes passed to (or decorating with) ``register_*``.
+
+        A registry callback has no direct call site — registration *is* its
+        reachability, mirroring how ``@register_rule`` wires the shallow
+        rules themselves.
+        """
+        registered: Set[str] = set()
+        for fn in self.functions.values():
+            for call in fn.calls:
+                if call.callee.rpartition(".")[2].startswith("register"):
+                    for _, atoms in call.tainted_args:
+                        for atom in atoms:
+                            if atom.startswith("ref:"):
+                                registered.add(atom[len("ref:"):])
+            for decorator in fn.decorators:
+                if decorator.rpartition(".")[2].startswith("register"):
+                    registered.add(fn.qualname)
+        return registered
+
+    # -- taint fixpoint (see dataflow.py) ----------------------------------
+    def tainted_returns(self) -> Dict[str, Set[str]]:
+        """``{qualname: {"time"|"entropy", ...}}`` fixpoint over the graph."""
+        if self._tainted_returns is None:
+            from repro.analysis.dataflow import solve_return_taint
+
+            self._tainted_returns = solve_return_taint(self)
+        return self._tainted_returns
+
+    # -- reporting helpers -------------------------------------------------
+    def line_text(self, path: str, line: int) -> str:
+        lines = self._line_cache.get(path)
+        if lines is None:
+            try:
+                lines = Path(path).read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+            self._line_cache[path] = lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, path: str, line: int, rule: str) -> bool:
+        fact = self.modules.get(path)
+        if fact is None:
+            return False
+        rules = fact.suppressions.get(line)
+        if not rules:
+            return False
+        return "ALL" in rules or rule.upper() in rules
+
+    def deterministic_field_names(self) -> Set[str]:
+        """Union of declared DETERMINISTIC_*_FIELDS entries, falling back to
+        the shallow rule's static list when no declarations exist."""
+        declared: Set[str] = set()
+        for fact in self.modules.values():
+            for name, entries in fact.classification_sets.items():
+                if name.startswith("DETERMINISTIC_"):
+                    declared.update(entries)
+        if declared:
+            # Structural members are containers/keys, not scalar sinks.
+            return declared - {"client_stats", "round_index", "client_id"}
+        from repro.analysis.rule_wallclock import DETERMINISTIC_FIELDS
+
+        return set(DETERMINISTIC_FIELDS)
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "INDEX_FORMAT_VERSION",
+    "AttributeAccess",
+    "CallSite",
+    "ClassFact",
+    "FieldFact",
+    "FunctionFact",
+    "ModuleFact",
+    "ProjectIndex",
+    "SinkFact",
+    "module_name_for_path",
+    "module_name_for_source_path",
+]

@@ -1,0 +1,405 @@
+"""Interprocedural source→sink taint for ``repro lint --deep``.
+
+DET002's taint is deliberately shallow: one function, names only.  This
+module generalizes it in two stages that keep every expensive step local and
+cacheable:
+
+1. **Local summaries** (:class:`LocalTaint`, run once per function during
+   index extraction): every expression is abstracted to a set of *atoms* —
+
+   ========== =========================================================
+   ``time``       value derives from a timing call (perf_counter family
+                  or a banned wall clock)
+   ``entropy``    value derives from host entropy (``os.urandom``,
+                  ``uuid.uuid4``, ``secrets.*``, an **unseeded**
+                  ``numpy.random.default_rng()``)
+   ``call:Q``     value derives from the return of callable ``Q``
+   ``param:P``    value derives from the enclosing function's parameter
+   ``ref:Q``      a *reference* to callable ``Q`` (inert for taint; feeds
+                  registry-callback edges in the call graph)
+   ========== =========================================================
+
+   The summary records which atoms each ``return`` may carry and which
+   atoms flow into *sinks* (keyword arguments, attribute assignments,
+   ``checkpoint_state`` payload values).
+
+2. **Global fixpoint** (:func:`solve_return_taint`, pure set algebra over
+   the cached facts): ``call:Q`` atoms are chased through the call graph —
+   including ``self.``/``super()`` dispatch — until the set of functions
+   whose returns carry ``time``/``entropy`` stabilises.  Cycles converge
+   because the lattice is finite and monotone.
+
+The deep rule (DET005) then asks, for each sink on a deterministic field or
+in checkpoint state: do its atoms ground out in a real source?  ``param:P``
+atoms turn into *parameter sinks* checked at every resolved call site, which
+is what makes a helper like ``def store(rec, v): rec.uplink_seconds = v``
+findable from the caller that passes it a measured duration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    _ENTROPY_IF_UNSEEDED,
+    _ENTROPY_SOURCES,
+    _TIMING_SOURCES,
+    CallSite,
+    SinkFact,
+)
+
+#: Ground atoms — the two real source kinds the fixpoint bottoms out in.
+GROUND_ATOMS = frozenset({"time", "entropy"})
+
+
+def _is_ref(atom: str) -> bool:
+    return atom.startswith("ref:")
+
+
+class LocalTaint:
+    """Single-pass, order-respecting taint summary of one function body.
+
+    Mirrors DET002's forward pass (no loop fixpoint, nested scopes skipped)
+    but tracks *why* a value is tainted — the atom vocabulary above — so the
+    global stage can resolve cross-function flows the shallow rule cannot
+    see.  Attribute reads on non-``self`` objects deliberately carry no
+    atoms: field-sensitive tracking of arbitrary objects is where static
+    taint starts lying, and the runtime sanitizer covers that ground.
+    """
+
+    def __init__(self, extractor, fn: ast.FunctionDef, class_name: Optional[str]) -> None:
+        self.extractor = extractor
+        self.fn = fn
+        self.class_name = class_name
+        self.params = {arg.arg for arg in fn.args.args if arg.arg != "self"}
+        self.locals: Dict[str, Set[str]] = {}
+        self.self_attrs: Dict[str, Set[str]] = {}
+        self.calls: List[CallSite] = []
+        self.return_atoms: Set[str] = set()
+        self.sinks: List[SinkFact] = []
+        self._recorded_calls: Set[int] = set()
+
+    # -- expression abstraction -----------------------------------------
+    def atoms(self, expr: Optional[ast.AST]) -> Set[str]:
+        if expr is None:
+            return set()
+        if isinstance(expr, ast.Call):
+            return self._call_atoms(expr)
+        if isinstance(expr, ast.Name):
+            if expr.id in self.locals:
+                return set(self.locals[expr.id])
+            if expr.id in self.params:
+                return {f"param:{expr.id}"}
+            resolved = self.extractor.resolve(expr)
+            if resolved is not None:
+                return {f"ref:{resolved}"}
+            return set()
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return set(self.self_attrs.get(expr.attr, set()))
+            resolved = self.extractor.resolve(expr)
+            if resolved is not None:
+                return {f"ref:{resolved}"}
+            return set()
+        if isinstance(expr, (ast.BinOp,)):
+            return self.atoms(expr.left) | self.atoms(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.atoms(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            out: Set[str] = set()
+            for value in expr.values:
+                out |= self.atoms(value)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return self.atoms(expr.body) | self.atoms(expr.orelse)
+        if isinstance(expr, ast.Compare):
+            out = self.atoms(expr.left)
+            for comparator in expr.comparators:
+                out |= self.atoms(comparator)
+            return out
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in expr.elts:
+                out |= self.atoms(element)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for value in expr.values:
+                out |= self.atoms(value)
+            return out
+        if isinstance(expr, ast.Subscript):
+            return self.atoms(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.atoms(expr.value)
+        if isinstance(expr, ast.Await):
+            return self.atoms(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            out = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.atoms(value.value)
+            return out
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = self.atoms(expr.elt)
+            for generator in expr.generators:
+                out |= self.atoms(generator.iter)
+            return out
+        if isinstance(expr, ast.DictComp):
+            out = self.atoms(expr.value)
+            for generator in expr.generators:
+                out |= self.atoms(generator.iter)
+            return out
+        return set()
+
+    def _call_atoms(self, call: ast.Call) -> Set[str]:
+        out: Set[str] = set()
+        resolved = self.extractor.resolve(call.func)
+        callee: Optional[str] = None
+        if resolved in _TIMING_SOURCES:
+            out.add("time")
+        elif resolved in _ENTROPY_SOURCES:
+            out.add("entropy")
+        elif resolved in _ENTROPY_IF_UNSEEDED and not call.args and not call.keywords:
+            out.add("entropy")
+        elif resolved is not None:
+            callee = resolved
+            out.add(f"call:{resolved}")
+        elif isinstance(call.func, ast.Attribute):
+            base = call.func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                callee = f"self.{call.func.attr}"
+                out.add(f"call:{callee}")
+            elif (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Name)
+                and base.func.id == "super"
+            ):
+                callee = f"super.{call.func.attr}"
+                out.add(f"call:{callee}")
+        # Taint flows through arguments: float(elapsed), sum(times), and any
+        # project helper that wraps its input.  Conservative on purpose.
+        arg_atoms: Set[str] = set()
+        for arg in call.args:
+            arg_atoms |= self.atoms(arg)
+        for keyword in call.keywords:
+            arg_atoms |= self.atoms(keyword.value)
+        out |= {atom for atom in arg_atoms if not _is_ref(atom)}
+
+        self._record_call(call, callee)
+        return out
+
+    def _record_call(self, call: ast.Call, callee: Optional[str]) -> None:
+        if callee is None or id(call) in self._recorded_calls:
+            return
+        self._recorded_calls.add(id(call))
+        tainted_args: List[Tuple[str, List[str]]] = []
+        for position, arg in enumerate(call.args):
+            atoms = self.atoms(arg)
+            if atoms:
+                tainted_args.append((str(position), sorted(atoms)))
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            atoms = self.atoms(keyword.value)
+            if atoms:
+                tainted_args.append((keyword.arg, sorted(atoms)))
+        self.calls.append(
+            CallSite(
+                callee=callee,
+                line=call.lineno,
+                col=call.col_offset,
+                tainted_args=tainted_args,
+            )
+        )
+
+    # -- statement pass ---------------------------------------------------
+    def run(self) -> None:
+        for statement in self.fn.body:
+            self._statement(statement)
+
+    def _statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scope: its returns are not ours
+        if isinstance(node, ast.Assign):
+            atoms = self.atoms(node.value)
+            flowing = {atom for atom in atoms if not _is_ref(atom)}
+            for target in node.targets:
+                self._bind(target, atoms, flowing, node)
+            return
+        if isinstance(node, ast.AnnAssign):
+            atoms = self.atoms(node.value)
+            flowing = {atom for atom in atoms if not _is_ref(atom)}
+            self._bind(node.target, atoms, flowing, node)
+            return
+        if isinstance(node, ast.AugAssign):
+            atoms = self.atoms(node.value)
+            flowing = {atom for atom in atoms if not _is_ref(atom)}
+            target = node.target
+            if isinstance(target, ast.Name):
+                merged = self.locals.get(target.id, set()) | atoms
+                if merged:
+                    self.locals[target.id] = merged
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                merged = self.self_attrs.get(target.attr, set()) | atoms
+                if merged:
+                    self.self_attrs[target.attr] = merged
+                if flowing:
+                    self.sinks.append(
+                        SinkFact(target.attr, node.lineno, node.col_offset, sorted(flowing))
+                    )
+            elif isinstance(target, ast.Attribute) and flowing:
+                self.sinks.append(
+                    SinkFact(target.attr, node.lineno, node.col_offset, sorted(flowing))
+                )
+            return
+        if isinstance(node, ast.Return):
+            atoms = self.atoms(node.value)
+            self.return_atoms |= {atom for atom in atoms if not _is_ref(atom)}
+            if self.fn.name == "checkpoint_state":
+                self._checkpoint_sinks(node.value)
+            return
+        if isinstance(node, ast.Expr):
+            self.atoms(node.value)  # records call sites as a side effect
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self.atoms(node.test)
+            for child in node.body:
+                self._statement(child)
+            for child in node.orelse:
+                self._statement(child)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_atoms = {a for a in self.atoms(node.iter) if not _is_ref(a)}
+            if isinstance(node.target, ast.Name) and iter_atoms:
+                self.locals[node.target.id] = iter_atoms
+            for child in node.body:
+                self._statement(child)
+            for child in node.orelse:
+                self._statement(child)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                atoms = self.atoms(item.context_expr)
+                if item.optional_vars is not None:
+                    flowing = {a for a in atoms if not _is_ref(a)}
+                    self._bind(item.optional_vars, atoms, flowing, node)
+            for child in node.body:
+                self._statement(child)
+            return
+        if isinstance(node, ast.Try):
+            for block in (node.body, node.orelse, node.finalbody):
+                for child in block:
+                    self._statement(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._statement(child)
+            return
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            if getattr(node, "exc", None) is not None:
+                self.atoms(node.exc)
+            if getattr(node, "test", None) is not None:
+                self.atoms(node.test)
+            return
+
+    def _bind(self, target: ast.AST, atoms: Set[str], flowing: Set[str], node: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            self.locals[target.id] = set(atoms)
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.self_attrs[target.attr] = set(atoms)
+            if flowing:
+                self.sinks.append(
+                    SinkFact(target.attr, node.lineno, node.col_offset, sorted(flowing))
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            if flowing:
+                self.sinks.append(
+                    SinkFact(target.attr, node.lineno, node.col_offset, sorted(flowing))
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, atoms, flowing, node)
+
+    def _checkpoint_sinks(self, value: Optional[ast.AST]) -> None:
+        """Values returned from ``checkpoint_state`` are resume-critical."""
+        if value is None:
+            return
+        if isinstance(value, ast.Dict):
+            for entry in value.values:
+                atoms = {a for a in self.atoms(entry) if not _is_ref(a)}
+                if atoms:
+                    self.sinks.append(
+                        SinkFact("<checkpoint-state>", entry.lineno, entry.col_offset, sorted(atoms))
+                    )
+            return
+        atoms = {a for a in self.atoms(value) if not _is_ref(a)}
+        if atoms:
+            self.sinks.append(
+                SinkFact("<checkpoint-state>", value.lineno, value.col_offset, sorted(atoms))
+            )
+
+
+# ----------------------------------------------------------------------
+# Global fixpoint
+# ----------------------------------------------------------------------
+def solve_return_taint(index) -> Dict[str, Set[str]]:
+    """``{qualname: subset of GROUND_ATOMS}`` — which functions return
+    timing/entropy-derived values, chased through the call graph to a
+    fixpoint (monotone over a finite lattice, so iteration terminates)."""
+    ground: Dict[str, Set[str]] = {}
+    call_atoms: Dict[str, List[str]] = {}
+    for qualname, fn in index.functions.items():
+        ground[qualname] = {a for a in fn.return_atoms if a in GROUND_ATOMS}
+        resolved_calls = []
+        for atom in fn.return_atoms:
+            if atom.startswith("call:"):
+                callee = index.resolve_callee(fn, atom[len("call:"):])
+                if callee is not None:
+                    resolved_calls.append(callee)
+        call_atoms[qualname] = resolved_calls
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname in ground:
+            for callee in call_atoms[qualname]:
+                extra = ground.get(callee, set()) - ground[qualname]
+                if extra:
+                    ground[qualname] |= extra
+                    changed = True
+    return ground
+
+
+def ground_sources(index, fn, atoms) -> Dict[str, Optional[str]]:
+    """Resolve a sink's atoms to real sources.
+
+    Returns ``{source_kind: via}`` where ``source_kind`` is ``"time"`` or
+    ``"entropy"`` and ``via`` is the callable whose return carried it
+    (``None`` for a direct source in this function).  ``param:*`` atoms are
+    *not* resolved here — they become parameter sinks checked per call site.
+    """
+    solved = index.tainted_returns()
+    sources: Dict[str, Optional[str]] = {}
+    for atom in atoms:
+        if atom in GROUND_ATOMS:
+            sources.setdefault(atom, None)
+        elif atom.startswith("call:"):
+            callee = index.resolve_callee(fn, atom[len("call:"):])
+            if callee is not None:
+                for kind in solved.get(callee, ()):
+                    sources.setdefault(kind, callee)
+    return sources
+
+
+__all__ = ["GROUND_ATOMS", "LocalTaint", "ground_sources", "solve_return_taint"]

@@ -1,0 +1,179 @@
+"""Deep (whole-program) rule framework for ``repro lint --deep``.
+
+A :class:`DeepRule` mirrors the shallow :class:`~repro.analysis.rules.LintRule`
+contract — stable ``rule_id``, ``summary``, ``invariant``, a ``check`` that
+yields :class:`~repro.analysis.engine.Finding` objects — but consumes one
+:class:`~repro.analysis.callgraph.ProjectIndex` covering every linted module
+instead of a single :class:`ModuleContext`.  Because the index is plain
+serialized facts, deep checks are set/graph algebra: they run identically on
+a cold build and on a cache hit, and never touch an AST.
+
+Authoring a deep rule (the short version; README has the long one):
+
+1. Find (or add) the facts your invariant needs in ``callgraph.py``'s
+   extractor — facts must be JSON-serializable and bump
+   ``INDEX_FORMAT_VERSION`` when their shape changes.
+2. Subclass :class:`DeepRule` in a ``rule_*.py`` module, decorate with
+   :func:`register_deep_rule`, and add the module to
+   ``_BUILTIN_DEEP_RULE_MODULES``.
+3. Pin the rule with one positive and one negative fixture test in
+   ``tests/analysis/`` (build tiny projects with
+   :func:`lint_deep_sources`).
+
+Inline suppressions and the baseline machinery work unchanged: deep
+findings respect ``# repro-lint: disable=<id>`` comments (via the
+suppression facts captured at extraction time) and share fingerprints with
+the shallow engine.
+"""
+
+from __future__ import annotations
+
+import importlib
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.callgraph import DEFAULT_CACHE_DIR, ProjectIndex
+from repro.analysis.engine import Finding, LintResult, iter_python_files
+
+#: Imported (once) by :func:`load_builtin_deep_rules`; importing registers.
+_BUILTIN_DEEP_RULE_MODULES = (
+    "repro.analysis.rule_concurrency",
+    "repro.analysis.rule_fork_transitive",
+    "repro.analysis.rule_deep_taint",
+    "repro.analysis.rule_exhaustiveness",
+)
+
+_DEEP_RULES: Dict[str, Type["DeepRule"]] = {}
+
+
+class DeepRule(ABC):
+    """One whole-program check, identified by a stable ``rule_id``."""
+
+    rule_id: str = "DEEP000"
+    summary: str = ""
+    invariant: str = ""
+
+    @abstractmethod
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        """Yield a :class:`Finding` for every violation in ``project``."""
+
+    def finding(
+        self, project: ProjectIndex, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at a fact's recorded location."""
+        return Finding(
+            rule=self.rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            line_text=project.line_text(path, line),
+        )
+
+
+def register_deep_rule(cls: Type[DeepRule]) -> Type[DeepRule]:
+    """Class decorator registering (or replacing) a deep rule under its id."""
+    _DEEP_RULES[cls.rule_id] = cls
+    return cls
+
+
+def load_builtin_deep_rules() -> None:
+    """Import every built-in deep-rule module (idempotent)."""
+    for module_name in _BUILTIN_DEEP_RULE_MODULES:
+        importlib.import_module(module_name)
+
+
+def available_deep_rules() -> List[str]:
+    """Sorted ids of every registered deep rule."""
+    load_builtin_deep_rules()
+    return sorted(_DEEP_RULES)
+
+
+def get_deep_rule(rule_id: str) -> DeepRule:
+    """Instantiate the deep rule registered under ``rule_id``."""
+    load_builtin_deep_rules()
+    try:
+        cls = _DEEP_RULES[rule_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown deep lint rule {rule_id!r}; available: {available_deep_rules()}"
+        ) from None
+    return cls()
+
+
+def get_deep_rules(rule_ids: Optional[Iterable[str]] = None) -> List[DeepRule]:
+    """Instantiate the requested deep rules (all of them by default).
+
+    Unknown ids are skipped silently so one ``--rule`` list can mix shallow
+    and deep ids; the CLI validates the union before getting here.
+    """
+    if rule_ids is None:
+        return [get_deep_rule(rule_id) for rule_id in available_deep_rules()]
+    load_builtin_deep_rules()
+    return [
+        get_deep_rule(rule_id)
+        for rule_id in rule_ids
+        if rule_id.upper() in _DEEP_RULES
+    ]
+
+
+def deep_rule_descriptions() -> List[Dict[str, str]]:
+    """``[{id, summary, invariant}, ...]`` for every registered deep rule."""
+    return [
+        {
+            "id": rule.rule_id,
+            "summary": rule.summary,
+            "invariant": rule.invariant,
+        }
+        for rule in get_deep_rules()
+    ]
+
+
+def check_project(project: ProjectIndex, rules: Sequence[DeepRule]) -> List[Finding]:
+    """Run ``rules`` over a built index, honouring inline suppressions."""
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            if not project.is_suppressed(finding.path, finding.line, finding.rule):
+                findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_deep(
+    paths: Sequence,
+    rules: Optional[Sequence[DeepRule]] = None,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+) -> Tuple[LintResult, ProjectIndex]:
+    """Whole-program lint over every python file under ``paths``.
+
+    Returns ``(result, project)`` so callers can merge the result with a
+    shallow pass and inspect cache provenance (``project.from_cache``).
+    """
+    files = iter_python_files(paths)
+    project = ProjectIndex.load_or_build(files, cache_dir=cache_dir)
+    result = LintResult(checked_files=len(files))
+    result.findings = check_project(project, rules if rules is not None else get_deep_rules())
+    return result, project
+
+
+def lint_deep_sources(
+    sources: Sequence[Tuple[str, str]],
+    rules: Optional[Sequence[DeepRule]] = None,
+) -> List[Finding]:
+    """Fixture-friendly deep lint over in-memory ``(path, source)`` pairs."""
+    project = ProjectIndex.from_sources(sources)
+    return check_project(project, rules if rules is not None else get_deep_rules())
+
+
+__all__ = [
+    "DeepRule",
+    "available_deep_rules",
+    "check_project",
+    "deep_rule_descriptions",
+    "get_deep_rule",
+    "get_deep_rules",
+    "lint_deep",
+    "lint_deep_sources",
+    "load_builtin_deep_rules",
+    "register_deep_rule",
+]

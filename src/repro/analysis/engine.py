@@ -257,3 +257,65 @@ def render_json(result: LintResult) -> str:
         "findings": [finding.as_dict() for finding in result.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(result: LintResult, rule_descriptions: Sequence[Dict[str, str]] = ()) -> str:
+    """SARIF 2.1.0 report, consumable by GitHub code scanning.
+
+    ``rule_descriptions`` is the ``[{id, summary, invariant}, ...]`` list the
+    registries expose; rules that produced no finding are still described so
+    the scanning UI can show the full rule catalogue.
+    """
+    described = {d["id"] for d in rule_descriptions}
+    rules = [
+        {
+            "id": d["id"],
+            "shortDescription": {"text": d["summary"]},
+            "fullDescription": {"text": d["invariant"]},
+        }
+        for d in rule_descriptions
+    ]
+    # Findings from rules outside the catalogue (e.g. PARSE) still need a
+    # driver entry or the file is invalid SARIF.
+    for rule_id in result.counts_by_rule():
+        if rule_id not in described:
+            rules.append({"id": rule_id, "shortDescription": {"text": rule_id}})
+    payload = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": str(LINT_SCHEMA_VERSION),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path,
+                                        "uriBaseId": "%SRCROOT%",
+                                    },
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,109 @@
+"""CONC001/CONC002 — lock discipline in lock-owning classes.
+
+A class that binds a ``threading.Lock``/``RLock``/``Condition`` to a
+``self.`` attribute has declared that some of its state is shared across
+threads.  Which state?  The class's own code says: any attribute it mutates
+inside a ``with self._lock:`` block is *guarded*.  Once an attribute is
+guarded, **every** access must be consistent:
+
+* **CONC001** — a guarded attribute is written (or mutated in place —
+  ``append``/``update``/RNG draws) outside the lock.  Two threads racing
+  that write corrupt state silently; in this repo that means a flaky
+  determinism failure, not a crash.
+* **CONC002** — a guarded attribute is *read* outside the lock.  Unlocked
+  reads see torn multi-attribute invariants (``created`` vs ``in_use``
+  mid-acquire) and on the monitor side can ship half-updated snapshots.
+
+``__init__``/``__post_init__`` are exempt (no second thread can hold the
+object before construction returns).  Classes owning no lock are out of
+scope: single-thread-confined objects (e.g. ``BroadcastCache``, touched only
+by the runtime thread) are legitimate and pinned as negative fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from repro.analysis.callgraph import ClassFact, ProjectIndex
+from repro.analysis.deep import DeepRule, register_deep_rule
+from repro.analysis.engine import Finding
+
+#: No thread can share ``self`` before construction completes.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _guarded_attrs(klass: ClassFact) -> Set[str]:
+    """Attributes the class itself mutates under one of its locks."""
+    return {
+        access.attr
+        for access in klass.accesses
+        if access.kind in ("write", "mutate")
+        and access.under_lock is not None
+        and access.method not in _CONSTRUCTION_METHODS
+    }
+
+
+@register_deep_rule
+class LockedWriteRule(DeepRule):
+    rule_id = "CONC001"
+    summary = "lock-guarded attributes are never mutated outside the lock"
+    invariant = (
+        "a class owning a threading lock mutates its guarded attributes "
+        "only under `with self.<lock>:` — racy writes corrupt shared state "
+        "as silent determinism failures, not crashes"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for klass in project.classes.values():
+            if not klass.lock_attrs:
+                continue
+            guarded = _guarded_attrs(klass)
+            for access in klass.accesses:
+                if (
+                    access.attr in guarded
+                    and access.kind in ("write", "mutate")
+                    and access.under_lock is None
+                    and access.method not in _CONSTRUCTION_METHODS
+                ):
+                    verb = "mutated in place" if access.kind == "mutate" else "written"
+                    yield self.finding(
+                        project, klass.path, access.line, access.col,
+                        f"{klass.name}.{access.attr} is guarded by "
+                        f"self.{klass.lock_attrs[0]} elsewhere but {verb} "
+                        f"without it in {access.method}(); wrap the mutation "
+                        f"in `with self.{klass.lock_attrs[0]}:`",
+                    )
+
+
+@register_deep_rule
+class LockedReadRule(DeepRule):
+    rule_id = "CONC002"
+    summary = "lock-guarded attributes are never read outside the lock"
+    invariant = (
+        "readers of lock-guarded state take the lock too — unlocked reads "
+        "observe torn multi-attribute invariants mid-update"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for klass in project.classes.values():
+            if not klass.lock_attrs:
+                continue
+            guarded = _guarded_attrs(klass)
+            for access in klass.accesses:
+                if (
+                    access.attr in guarded
+                    and access.kind == "read"
+                    and access.under_lock is None
+                    and access.method not in _CONSTRUCTION_METHODS
+                ):
+                    yield self.finding(
+                        project, klass.path, access.line, access.col,
+                        f"{klass.name}.{access.attr} is mutated under "
+                        f"self.{klass.lock_attrs[0]} but read without it in "
+                        f"{access.method}(); take the lock (re-entrant locks "
+                        "make this safe even from methods the lock's holders "
+                        "call)",
+                    )
+
+
+__all__ = ["LockedReadRule", "LockedWriteRule"]

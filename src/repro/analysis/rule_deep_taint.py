@@ -1,0 +1,172 @@
+"""DET005 — interprocedural RNG/clock taint into deterministic state.
+
+DET002 catches ``record.uplink_seconds = time.perf_counter() - start`` when
+source and sink share a function.  It cannot catch the same flow split
+across a helper (``elapsed()`` returning a measured duration, a caller
+storing it), across modules, or laundered through a parameter
+(``def store(rec, v): rec.uplink_seconds = v``).  DET005 closes those routes
+using the project-wide taint facts:
+
+* **interprocedural sinks** — a deterministic-field or
+  ``checkpoint_state`` sink whose atoms ground out in a timing/entropy
+  source *through a resolved call* (``call:Q`` where ``Q``'s return taint
+  reaches ``time``/``entropy`` in the fixpoint).  Direct same-function
+  flows into named fields stay DET002's finding so nothing double-reports;
+  checkpoint-state sinks have no shallow rule, so direct atoms report here.
+* **parameter sinks** — a sink fed from a bare parameter makes the function
+  a sink on that parameter; every resolved call site passing a
+  tainted-grounding argument for it is a finding *at the call site* (where
+  the fix belongs).
+* **clock-value bindings** — referencing a banned wall clock as a *value*
+  (``self._clock = time.time``) defeats DET002's call-site check; the
+  binding itself is flagged.  The sanctioned measurement seam
+  (``utils/timing.py``) is exempt, same as DET002.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionFact, ProjectIndex
+from repro.analysis.dataflow import ground_sources
+from repro.analysis.deep import DeepRule, register_deep_rule
+from repro.analysis.engine import Finding
+
+#: The one module allowed to touch clocks directly (mirrors DET002).
+_EXEMPT_SUFFIX = "utils/timing.py"
+
+_SOURCE_LABEL = {"time": "a wall-clock/perf-counter value", "entropy": "host entropy"}
+
+
+@register_deep_rule
+class InterproceduralTaintRule(DeepRule):
+    rule_id = "DET005"
+    summary = "no RNG/clock taint reaches deterministic fields across calls"
+    invariant = (
+        "timing- and entropy-derived values never reach deterministic_rows "
+        "fields or checkpoint state, even through helper returns, parameter "
+        "passing, module boundaries, or clock callables bound as values"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        deterministic = project.deterministic_field_names()
+        param_sinks = self._param_sinks(project, deterministic)
+        seen: Set[Tuple[str, int, str]] = set()
+
+        for fn in project.functions.values():
+            if fn.path.endswith(_EXEMPT_SUFFIX):
+                continue
+            for sink in fn.sinks:
+                is_checkpoint = sink.sink == "<checkpoint-state>"
+                if not is_checkpoint and sink.sink not in deterministic:
+                    continue
+                sources = ground_sources(project, fn, sink.atoms)
+                for kind, via in sorted(sources.items(), key=lambda kv: kv[0]):
+                    # Direct flows into named fields are DET002's findings;
+                    # checkpoint state has no shallow rule, so report those.
+                    if via is None and not is_checkpoint:
+                        continue
+                    key = (fn.path, sink.line, f"{sink.sink}:{kind}")
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    target = (
+                        "checkpoint state" if is_checkpoint
+                        else f"deterministic field {sink.sink!r}"
+                    )
+                    route = f" via {via}()" if via is not None else ""
+                    yield self.finding(
+                        project, fn.path, sink.line, sink.col,
+                        f"{_SOURCE_LABEL[kind]} reaches {target}{route} in "
+                        f"{fn.qualname}; deterministic outputs must derive "
+                        "only from seeded, modelled state",
+                    )
+
+        yield from self._check_call_sites(project, param_sinks, seen)
+        yield from self._check_clock_bindings(project)
+
+    # -- parameter sinks ---------------------------------------------------
+    @staticmethod
+    def _param_sinks(
+        project: ProjectIndex, deterministic: Set[str]
+    ) -> Dict[str, Dict[str, str]]:
+        """``{fn_qualname: {param_name: sink_field}}`` for functions whose
+        deterministic/checkpoint sinks are fed from a bare parameter."""
+        sinks: Dict[str, Dict[str, str]] = {}
+        for fn in project.functions.values():
+            if fn.path.endswith(_EXEMPT_SUFFIX):
+                continue
+            for sink in fn.sinks:
+                if sink.sink != "<checkpoint-state>" and sink.sink not in deterministic:
+                    continue
+                for atom in sink.atoms:
+                    if atom.startswith("param:"):
+                        param = atom[len("param:"):]
+                        if param in fn.params:
+                            sinks.setdefault(fn.qualname, {})[param] = sink.sink
+        return sinks
+
+    def _check_call_sites(
+        self,
+        project: ProjectIndex,
+        param_sinks: Dict[str, Dict[str, str]],
+        seen: Set[Tuple[str, int, str]],
+    ) -> Iterator[Finding]:
+        if not param_sinks:
+            return
+        for caller in project.functions.values():
+            for call in caller.calls:
+                callee = project.resolve_callee(caller, call.callee)
+                if callee is None or callee not in param_sinks:
+                    continue
+                callee_fn = project.functions[callee]
+                for arg_key, atoms in call.tainted_args:
+                    param = self._arg_param(arg_key, callee_fn)
+                    if param is None or param not in param_sinks[callee]:
+                        continue
+                    sources = ground_sources(project, caller, atoms)
+                    for kind, via in sorted(sources.items(), key=lambda kv: kv[0]):
+                        field = param_sinks[callee][param]
+                        key = (caller.path, call.line, f"{callee}:{param}:{kind}")
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        target = (
+                            "checkpoint state" if field == "<checkpoint-state>"
+                            else f"deterministic field {field!r}"
+                        )
+                        origin = f" (from {via}())" if via is not None else ""
+                        yield self.finding(
+                            project, caller.path, call.line, call.col,
+                            f"{_SOURCE_LABEL[kind]}{origin} is passed as "
+                            f"{param!r} to {callee}(), which stores it in "
+                            f"{target}; pass a modelled value instead",
+                        )
+
+    @staticmethod
+    def _arg_param(arg_key: str, callee: FunctionFact) -> Optional[str]:
+        """Map a recorded tainted-arg key (kwarg name or positional index
+        string) onto the callee's parameter name."""
+        if not arg_key.isdigit():
+            return arg_key if arg_key in callee.params else None
+        index = int(arg_key)
+        if index < len(callee.params):
+            return callee.params[index]
+        return None
+
+    # -- clock-value bindings ---------------------------------------------
+    def _check_clock_bindings(self, project: ProjectIndex) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if module.path.endswith(_EXEMPT_SUFFIX):
+                continue
+            for qualname, line, col in module.clock_bindings:
+                yield self.finding(
+                    project, module.path, line, col,
+                    f"{qualname} referenced as a value; binding a wall clock "
+                    "defeats the call-site ban (DET002) — inject a "
+                    "deterministic clock, or suppress with a reason where a "
+                    "real clock is the sanctioned default",
+                )
+
+
+__all__ = ["InterproceduralTaintRule"]

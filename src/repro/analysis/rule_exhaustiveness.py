@@ -1,0 +1,175 @@
+"""EXH001/EXH002 — exhaustiveness of dispatch and field classification.
+
+Two invariants the event engine and the metrics schema rely on but nothing
+enforced statically until now:
+
+* **EXH001** — every event kind the project *pushes* (a ``kind=`` argument
+  resolving to a module constant) is *dispatched* somewhere: some
+  ``<expr>.kind == KIND`` / ``in (KIND, ...)`` comparison names it.  A
+  pushed-but-never-matched kind silently falls through every scheduler's
+  ``consume_events`` — the event fires and nothing happens.  The finding
+  anchors at the constant's definition so the fix (add a dispatch arm or
+  delete the kind) is next to the name.  Defined-but-never-pushed kinds are
+  fine: a kind nobody emits cannot be mishandled.
+* **EXH002(a)** — in modules that define ``deterministic_rows``, every
+  dataclass is explicitly partitioned into
+  ``DETERMINISTIC_<CLASS>_FIELDS`` / ``OBSERVATIONAL_<CLASS>_FIELDS``
+  module constants: complete (every annotated field appears), disjoint
+  (no field in both), and honest (no phantom entries).  Adding a field to
+  ``RoundRecord`` without deciding its class is a lint failure, not a
+  reviewer catch.
+* **EXH002(b)** — a codec-like class (defines ``checkpoint_state`` plus a
+  ``compress``/``observe`` surface) must cover every attribute it evolves
+  after construction: each such attribute appears in ``checkpoint_state``
+  or is rewritten by ``restore_checkpoint_state``.  An uncovered mutable
+  attribute (an RNG, an error-bound EMA) makes resume diverge from a
+  straight run — the exact bug class the resume suites chase dynamically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.callgraph import ClassFact, ModuleFact, ProjectIndex
+from repro.analysis.deep import DeepRule, register_deep_rule
+from repro.analysis.engine import Finding
+
+#: Methods whose writes don't need checkpoint coverage: construction builds
+#: the attrs, restore/clone/__setstate__ ARE the coverage mechanism.
+_LIFECYCLE_METHODS = frozenset({
+    "__init__", "__post_init__", "__new__", "__setstate__",
+    "restore_checkpoint_state", "clone",
+})
+
+#: A class with checkpoint_state AND one of these is a stateful codec/DP
+#: mechanism whose evolving attrs must survive resume.
+_CODEC_SURFACE = frozenset({"compress", "observe", "observe_accuracy"})
+
+
+def _upper_snake(name: str) -> str:
+    """``ClientRoundStat`` → ``CLIENT_ROUND_STAT``."""
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])", "_", name).upper()
+
+
+@register_deep_rule
+class EventDispatchRule(DeepRule):
+    rule_id = "EXH001"
+    summary = "every pushed event kind has a dispatch arm somewhere"
+    invariant = (
+        "an event kind that is ever pushed is compared against some "
+        "`.kind` — otherwise it falls through every consume_events silently"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        pushes: Dict[str, Tuple[str, int, int]] = {}
+        dispatched: Set[str] = set()
+        definitions: Dict[str, Tuple[str, int, int]] = {}
+        for module in project.modules.values():
+            for qualname, (line, col) in module.kind_pushes.items():
+                pushes.setdefault(qualname, (module.path, line, col))
+            dispatched.update(module.kind_dispatches)
+            for local_name, (qualname, line, col) in module.constants.items():
+                definitions.setdefault(qualname, (module.path, line, col))
+
+        for qualname in sorted(pushes.keys() - dispatched):
+            path, line, col = definitions.get(qualname, pushes[qualname])
+            kind = qualname.rpartition(".")[2]
+            yield self.finding(
+                project, path, line, col,
+                f"event kind {kind} is pushed (e.g. "
+                f"{pushes[qualname][0]}:{pushes[qualname][1]}) but no "
+                "dispatch compares `.kind` against it; unhandled events "
+                "drain from the queue without effect",
+            )
+
+
+@register_deep_rule
+class FieldClassificationRule(DeepRule):
+    rule_id = "EXH002"
+    summary = "metric fields are classified; codec state is checkpointed"
+    invariant = (
+        "every metrics-record field is declared deterministic or "
+        "observational, and every post-construction mutable attribute of a "
+        "checkpointable codec is covered by its checkpoint protocol"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if module.has_deterministic_rows:
+                yield from self._check_classification(project, module)
+        for klass in project.classes.values():
+            if "checkpoint_state" in klass.methods and _CODEC_SURFACE & set(klass.methods):
+                yield from self._check_checkpoint_coverage(project, klass)
+
+    # -- (a) deterministic-vs-observational partition ---------------------
+    def _check_classification(
+        self, project: ProjectIndex, module: ModuleFact
+    ) -> Iterator[Finding]:
+        for klass in project.classes.values():
+            if klass.path != module.path or not klass.is_dataclass:
+                continue
+            if klass.defines_deterministic_rows:
+                continue  # the container itself (TrainingHistory) is the API
+            snake = _upper_snake(klass.name)
+            det_name = f"DETERMINISTIC_{snake}_FIELDS"
+            obs_name = f"OBSERVATIONAL_{snake}_FIELDS"
+            det = module.classification_sets.get(det_name)
+            obs = module.classification_sets.get(obs_name)
+            field_names = [f.name for f in klass.fields]
+            if det is None and obs is None:
+                yield self.finding(
+                    project, klass.path, klass.line, klass.col,
+                    f"dataclass {klass.name} feeds deterministic_rows but has "
+                    f"no {det_name}/{obs_name} classification sets; every "
+                    "field must be declared deterministic or observational",
+                )
+                continue
+            det_set, obs_set = set(det or ()), set(obs or ())
+            for name in sorted(det_set & obs_set):
+                yield self.finding(
+                    project, klass.path, klass.line, klass.col,
+                    f"{klass.name} field {name!r} appears in both {det_name} "
+                    f"and {obs_name}; the partition must be disjoint",
+                )
+            for phantom in sorted((det_set | obs_set) - set(field_names)):
+                yield self.finding(
+                    project, klass.path, klass.line, klass.col,
+                    f"classification sets for {klass.name} name {phantom!r}, "
+                    "which is not a field of the dataclass",
+                )
+            for field_fact in klass.fields:
+                if field_fact.name not in det_set and field_fact.name not in obs_set:
+                    yield self.finding(
+                        project, klass.path, field_fact.line, field_fact.col,
+                        f"{klass.name}.{field_fact.name} is neither in "
+                        f"{det_name} nor {obs_name}; new fields must be "
+                        "classified deterministic or observational",
+                    )
+
+    # -- (b) checkpoint coverage of evolving codec state ------------------
+    def _check_checkpoint_coverage(
+        self, project: ProjectIndex, klass: ClassFact
+    ) -> Iterator[Finding]:
+        covered = set(klass.checkpoint_reads) | set(klass.restore_writes)
+        reported: Set[str] = set()
+        evolving: List = [
+            access for access in klass.accesses
+            if access.kind in ("write", "mutate")
+            and access.method not in _LIFECYCLE_METHODS
+            and access.method != "checkpoint_state"
+        ]
+        for access in sorted(evolving, key=lambda a: (a.line, a.col)):
+            if access.attr in covered or access.attr in reported:
+                continue
+            reported.add(access.attr)
+            yield self.finding(
+                project, klass.path, access.line, access.col,
+                f"{klass.name}.{access.attr} evolves in {access.method}() "
+                "but is not captured by checkpoint_state or rebuilt by "
+                "restore_checkpoint_state; resume would diverge from a "
+                "straight run",
+            )
+
+
+__all__ = ["EventDispatchRule", "FieldClassificationRule"]

@@ -1,0 +1,100 @@
+"""FORK002 — transitive pickle-safety of worker-crossing dataclasses.
+
+FORK001 proves a ``*TaskSpec``/``*TaskResult`` carries no *direct* live
+object.  But pickling recurses: a spec whose field is typed ``FaultPlan``
+ships everything ``FaultPlan`` declares, and everything *those* fields
+declare, all the way down.  The planned socket executor makes this a
+cross-host property — memory inheritance can no longer paper over a lambda
+or lock buried two hops deep.
+
+FORK002 walks each worker-crossing class's annotated field types through the
+project-wide class table (cycle-safe) and reports:
+
+* a forbidden live type (``Callable``, ``Lock``, queues, file handles — the
+  FORK001 list) reachable at depth ≥ 2, with the field chain that reaches
+  it.  Depth-1 hits are FORK001's and are not re-reported.
+* a reachable class that *owns a lock attribute* (``self._lock =
+  threading.Lock()`` in any method): such instances cannot pickle at all.
+
+Unresolvable annotations (externals like ``numpy.ndarray``) are treated as
+leaves — arrays and plain containers are exactly what specs should carry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import ClassFact, ProjectIndex
+from repro.analysis.deep import DeepRule, register_deep_rule
+from repro.analysis.engine import Finding
+from repro.analysis.rule_fork_safety import _FORBIDDEN_TYPES
+
+
+def _forbidden_tail(type_name: str) -> Optional[str]:
+    tail = type_name.rpartition(".")[2]
+    return tail if tail in _FORBIDDEN_TYPES else None
+
+
+@register_deep_rule
+class TransitiveForkSafetyRule(DeepRule):
+    rule_id = "FORK002"
+    summary = "worker-crossing dataclasses are pickle-safe transitively"
+    invariant = (
+        "everything reachable from a task spec through annotated field types "
+        "pickles under spawn: no live type and no lock-owning class at any "
+        "depth, not just in the spec's own fields"
+    )
+
+    def check(self, project: ProjectIndex) -> Iterator[Finding]:
+        for klass in project.classes.values():
+            if not klass.worker_crossing:
+                continue
+            yield from self._walk(project, root=klass)
+
+    def _walk(self, project: ProjectIndex, root: ClassFact) -> Iterator[Finding]:
+        # (class, chain-of-field-names-so-far); visited is per-root so two
+        # specs sharing a bad type each get their own finding.
+        queue: List[Tuple[ClassFact, List[str], int]] = [(root, [], 0)]
+        visited: Set[str] = {root.qualname}
+        while queue:
+            current, chain, depth = queue.pop(0)
+            for field_fact in current.fields:
+                field_chain = chain + [field_fact.name]
+                # The annotation is recorded under every spelling (resolved
+                # and raw); dedupe so one bad type is one finding.
+                bad_tails: List[str] = []
+                for type_name in field_fact.type_names:
+                    bad = _forbidden_tail(type_name)
+                    if bad is not None and bad not in bad_tails:
+                        bad_tails.append(bad)
+                # Depth-1 forbidden types are FORK001's findings already.
+                if depth >= 1:
+                    for bad in bad_tails:
+                        yield self.finding(
+                            project, root.path, root.line, root.col,
+                            f"worker-crossing class {root.name} reaches "
+                            f"{bad} through field chain "
+                            f"{'.'.join(field_chain)}; everything a spec "
+                            "embeds must pickle under spawn",
+                        )
+                for type_name in field_fact.type_names:
+                    if _forbidden_tail(type_name) is not None:
+                        continue
+                    nested = project.classes.get(type_name)
+                    if nested is None or nested.qualname in visited:
+                        continue
+                    visited.add(nested.qualname)
+                    if nested.lock_attrs:
+                        yield self.finding(
+                            project, root.path, root.line, root.col,
+                            f"worker-crossing class {root.name} embeds "
+                            f"{nested.name} (via {'.'.join(field_chain)}), "
+                            f"which owns lock attribute self."
+                            f"{nested.lock_attrs[0]}; lock-owning objects "
+                            "cannot cross the process boundary",
+                        )
+                        continue
+                    queue.append((nested, field_chain, depth + 1))
+
+
+__all__ = ["TransitiveForkSafetyRule"]

@@ -11,6 +11,78 @@ from repro.network.timing import EpochTimeBreakdown
 HISTORY_SCHEMA = "repro.history"
 HISTORY_SCHEMA_VERSION = 1
 
+# ----------------------------------------------------------------------
+# Deterministic-vs-observational field classification.
+#
+# Every field of the record dataclasses below must appear in exactly one of
+# its class's two sets (EXH002 enforces completeness and disjointness).
+# *Deterministic* fields are reproduced bit-for-bit by a seeded run on any
+# host/executor — they are what :meth:`TrainingHistory.deterministic_rows`
+# exposes and what the resume/equivalence suites compare.  *Observational*
+# fields are host-measured wall-clock (or codec telemetry derived from it)
+# and legitimately differ between runs of the same seed.
+#
+# Adding a field to ClientRoundStat/RoundRecord without classifying it here
+# is a lint failure by design: the decision is the point.
+# ----------------------------------------------------------------------
+DETERMINISTIC_CLIENT_ROUND_STAT_FIELDS = frozenset({
+    "client_id",
+    "num_samples",
+    "train_loss",
+    "train_accuracy",
+    "payload_nbytes",
+    "compression_ratio",
+    "transfer_seconds",
+    "downlink_seconds",
+    "delivered",
+    "aggregated",
+    "staleness",
+    "weight",
+})
+
+OBSERVATIONAL_CLIENT_ROUND_STAT_FIELDS = frozenset({
+    "train_seconds",
+    "compress_seconds",
+    "decompress_seconds",
+    "measured_codec_seconds",
+    "turnaround_seconds",
+    "bound_utilization",
+})
+
+DETERMINISTIC_ROUND_RECORD_FIELDS = frozenset({
+    "round_index",
+    "global_accuracy",
+    "global_loss",
+    "mean_client_loss",
+    "mean_client_accuracy",
+    "uplink_bytes",
+    "uplink_seconds",
+    "downlink_bytes",
+    "downlink_seconds",
+    "downlink_aggregate_seconds",
+    "mean_compression_ratio",
+    "participating_clients",
+    "dropped_clients",
+    "straggler_clients",
+    "client_stats",
+})
+
+OBSERVATIONAL_ROUND_RECORD_FIELDS = frozenset({
+    "compression_seconds",
+    "decompression_seconds",
+    "train_seconds",
+    "validation_seconds",
+    "measured_codec_seconds",
+    # Derived from per-client turnarounds, which include host-measured
+    # components; deterministic_rows has always excluded it.
+    "simulated_round_seconds",
+    "broadcast_compress_seconds",
+    "broadcast_decompress_seconds",
+    "error_bound",
+    "error_bound_mode",
+    "tensor_bound_utilization",
+})
+
 
 @dataclass
 class ClientRoundStat:

@@ -95,17 +95,20 @@ class ModelPool:
     @property
     def created(self) -> int:
         """Total model instances constructed so far (= peak residency)."""
-        return self._created
+        with self._condition:
+            return self._created
 
     @property
     def in_use(self) -> int:
         """Models currently borrowed."""
-        return self._in_use
+        with self._condition:
+            return self._in_use
 
     @property
     def peak_in_use(self) -> int:
         """Most models simultaneously borrowed over the pool's lifetime."""
-        return self._peak_in_use
+        with self._condition:
+            return self._peak_in_use
 
     @property
     def pristine_states(self) -> List[dict]:
@@ -114,11 +117,16 @@ class ModelPool:
         Captured from the first model the pool builds; because model
         factories are deterministic (seeded weight init and layer RNGs),
         every construction starts from these same states.
+
+        Condition's default lock is re-entrant, so the acquire/release pair
+        below is safe to run while we hold it.
         """
-        if self._pristine_states is None:
-            # Force one construction so first-time borrowers have a reference.
-            self.release(self.acquire())
-        return list(self._pristine_states)
+        with self._condition:
+            if self._pristine_states is None:
+                # Force one construction so first-time borrowers have a
+                # reference.
+                self.release(self.acquire())
+            return list(self._pristine_states)
 
     def acquire(self) -> Module:
         """Borrow a model, blocking until one is free or can be built."""

@@ -1,0 +1,231 @@
+"""Call-graph construction edge cases and the on-disk index cache."""
+
+from __future__ import annotations
+
+import textwrap
+import time
+
+from repro.analysis.callgraph import (
+    ProjectIndex,
+    module_name_for_source_path,
+)
+
+
+def build(*sources):
+    """Index over ``(path, source)`` pairs with dedented sources."""
+    return ProjectIndex.from_sources(
+        [(path, textwrap.dedent(source)) for path, source in sources]
+    )
+
+
+class TestModuleNames:
+    def test_source_path_strips_through_src(self):
+        assert module_name_for_source_path("src/repro/fl/events.py") == "repro.fl.events"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_source_path("src/repro/fl/__init__.py") == "repro.fl"
+
+    def test_loose_file_is_its_stem(self):
+        assert module_name_for_source_path("scratch.py") == "scratch"
+
+
+class TestCallEdges:
+    def test_aliased_module_import_resolves(self):
+        index = build(
+            ("src/fx/helpers.py", """
+                def helper():
+                    return 1
+            """),
+            ("src/fx/user.py", """
+                import fx.helpers as h
+                def caller():
+                    return h.helper()
+            """),
+        )
+        assert "fx.helpers.helper" in index.call_edges()["fx.user.caller"]
+
+    def test_from_import_resolves(self):
+        index = build(
+            ("src/fx/helpers.py", """
+                def helper():
+                    return 1
+            """),
+            ("src/fx/user.py", """
+                from fx.helpers import helper
+                def caller():
+                    return helper()
+            """),
+        )
+        assert "fx.helpers.helper" in index.call_edges()["fx.user.caller"]
+
+    def test_decorator_application_is_an_edge(self):
+        index = build(
+            ("src/fx/mod.py", """
+                def wrap(fn):
+                    return fn
+                @wrap
+                def task():
+                    return 2
+            """),
+        )
+        assert "fx.mod.wrap" in index.call_edges()["fx.mod.task"]
+
+    def test_self_dispatch_falls_back_to_base_class(self):
+        index = build(
+            ("src/fx/mod.py", """
+                class Base:
+                    def step(self):
+                        return 0
+                class Child(Base):
+                    def run(self):
+                        return self.step()
+            """),
+        )
+        assert "fx.mod.Base.step" in index.call_edges()["fx.mod.Child.run"]
+
+    def test_super_dispatch_skips_own_override(self):
+        index = build(
+            ("src/fx/mod.py", """
+                class Base:
+                    def step(self):
+                        return 0
+                class Child(Base):
+                    def step(self):
+                        return 1 + super().step()
+            """),
+        )
+        # super().step() must reach Base.step, not recurse into Child.step.
+        assert "fx.mod.Base.step" in index.call_edges()["fx.mod.Child.step"]
+
+    def test_construction_resolves_to_init(self):
+        index = build(
+            ("src/fx/mod.py", """
+                class Thing:
+                    def __init__(self):
+                        self.x = 0
+                def make():
+                    return Thing()
+            """),
+        )
+        assert "fx.mod.Thing.__init__" in index.call_edges()["fx.mod.make"]
+
+    def test_cyclic_calls_do_not_hang(self):
+        index = build(
+            ("src/fx/mod.py", """
+                import time
+                def ping(n):
+                    if n:
+                        return pong(n - 1)
+                    return time.perf_counter()
+                def pong(n):
+                    return ping(n)
+            """),
+        )
+        edges = index.call_edges()
+        assert "fx.mod.pong" in edges["fx.mod.ping"]
+        assert "fx.mod.ping" in edges["fx.mod.pong"]
+        # The taint fixpoint converges through the cycle: both return taint.
+        solved = index.tainted_returns()
+        assert solved["fx.mod.ping"] == {"time"}
+        assert solved["fx.mod.pong"] == {"time"}
+
+
+class TestRegisteredCallables:
+    def test_callback_passed_to_register_call(self):
+        index = build(
+            ("src/fx/reg.py", """
+                def register_handler(fn):
+                    return fn
+                def on_event(event):
+                    return event
+                def wire():
+                    register_handler(on_event)
+            """),
+        )
+        assert "fx.reg.on_event" in index.registered_callables()
+
+    def test_register_decorator_marks_the_decorated(self):
+        index = build(
+            ("src/fx/reg.py", """
+                def register_rule(cls):
+                    return cls
+                @register_rule
+                def checker():
+                    return None
+            """),
+        )
+        assert "fx.reg.checker" in index.registered_callables()
+
+
+class TestCache:
+    def _write_tree(self, root, modules=24, salt=""):
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "__init__.py").write_text("")
+        for i in range(modules):
+            (root / f"mod{i}.py").write_text(textwrap.dedent(f"""
+                import threading
+
+                class Holder{i}:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = {i} + {salt or 0}
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                def helper{i}(value):
+                    return value * {i + 1}
+            """))
+        return sorted(root.glob("*.py"))
+
+    def test_cold_then_cached_identical_facts(self, tmp_path):
+        files = self._write_tree(tmp_path / "pkg")
+        cache = tmp_path / "cache"
+        cold = ProjectIndex.load_or_build(files, cache_dir=cache)
+        warm = ProjectIndex.load_or_build(files, cache_dir=cache)
+        assert not cold.from_cache and warm.from_cache
+        assert cold.to_payload() == warm.to_payload()
+
+    def test_any_edit_invalidates(self, tmp_path):
+        files = self._write_tree(tmp_path / "pkg")
+        cache = tmp_path / "cache"
+        ProjectIndex.load_or_build(files, cache_dir=cache)
+        files[0].write_text(files[0].read_text() + "\nEXTRA = 1\n")
+        rebuilt = ProjectIndex.load_or_build(files, cache_dir=cache)
+        assert not rebuilt.from_cache
+
+    def test_corrupt_cache_rebuilds(self, tmp_path):
+        files = self._write_tree(tmp_path / "pkg")
+        cache = tmp_path / "cache"
+        ProjectIndex.load_or_build(files, cache_dir=cache)
+        for entry in cache.glob("callgraph-*.json"):
+            entry.write_text("{not json")
+        rebuilt = ProjectIndex.load_or_build(files, cache_dir=cache)
+        assert not rebuilt.from_cache
+        assert rebuilt.functions
+
+    def test_cached_rerun_is_at_least_5x_faster(self, tmp_path):
+        files = self._write_tree(tmp_path / "pkg", modules=60)
+        cache = tmp_path / "cache"
+        start = time.perf_counter()
+        cold = ProjectIndex.load_or_build(files, cache_dir=cache)
+        cold_seconds = time.perf_counter() - start
+        warm_seconds = float("inf")
+        for _ in range(3):  # best-of-3 damps scheduler noise
+            start = time.perf_counter()
+            warm = ProjectIndex.load_or_build(files, cache_dir=cache)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+            assert warm.from_cache
+        assert not cold.from_cache
+        assert cold_seconds / warm_seconds >= 5.0, (
+            f"cache hit only {cold_seconds / warm_seconds:.1f}x faster "
+            f"(cold {cold_seconds * 1e3:.1f}ms, warm {warm_seconds * 1e3:.1f}ms)"
+        )
+
+    def test_cache_directory_stays_bounded(self, tmp_path):
+        cache = tmp_path / "cache"
+        for round_index in range(7):
+            files = self._write_tree(tmp_path / "pkg", modules=3, salt=str(round_index))
+            ProjectIndex.load_or_build(files, cache_dir=cache)
+        assert len(list(cache.glob("callgraph-*.json"))) <= 4

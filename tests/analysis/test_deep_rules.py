@@ -1,0 +1,536 @@
+"""Positive/negative fixture pairs for every whole-program rule family.
+
+Mirrors ``test_rules.py``: each deep rule gets at least one tiny project it
+must fire on and one structurally-adjacent project it must stay silent on.
+The repo-wide pin (``test_repo_src_has_no_deep_findings``) keeps ``src/``
+itself clean so the committed empty baseline holds.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_deep, lint_deep_sources
+from repro.analysis.deep import get_deep_rule
+
+
+def findings(rule_id, *sources):
+    return lint_deep_sources(
+        [(path, textwrap.dedent(source)) for path, source in sources],
+        rules=[get_deep_rule(rule_id)],
+    )
+
+
+# ----------------------------------------------------------------------
+# CONC001/CONC002 — lock discipline
+# ----------------------------------------------------------------------
+LOCKED_COUNTER = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+            self._items = []
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+                self._items.append(self._count)
+    """
+
+
+class TestConc001:
+    def test_fires_on_unguarded_write(self):
+        hits = findings("CONC001", ("src/fx/mod.py", LOCKED_COUNTER + """
+        def reset(self):
+            self._count = 0
+    """))
+        assert [f.rule for f in hits] == ["CONC001"]
+        assert "Counter._count" in hits[0].message
+
+    def test_fires_on_unguarded_in_place_mutation(self):
+        hits = findings("CONC001", ("src/fx/mod.py", LOCKED_COUNTER + """
+        def drop(self):
+            self._items.clear()
+    """))
+        assert [f.rule for f in hits] == ["CONC001"]
+        assert "mutated in place" in hits[0].message
+
+    def test_silent_when_every_mutation_is_locked(self):
+        assert not findings("CONC001", ("src/fx/mod.py", LOCKED_COUNTER + """
+        def reset(self):
+            with self._lock:
+                self._count = 0
+    """))
+
+    def test_silent_in_lockless_class(self):
+        # No lock attribute -> thread-confined by design, out of scope.
+        assert not findings("CONC001", ("src/fx/mod.py", """
+            class Cache:
+                def __init__(self):
+                    self._hits = 0
+                def record(self):
+                    self._hits += 1
+        """))
+
+    def test_init_writes_are_exempt(self):
+        assert not findings("CONC001", ("src/fx/mod.py", LOCKED_COUNTER))
+
+
+class TestConc002:
+    def test_fires_on_unguarded_read(self):
+        hits = findings("CONC002", ("src/fx/mod.py", LOCKED_COUNTER + """
+        @property
+        def count(self):
+            return self._count
+    """))
+        assert [f.rule for f in hits] == ["CONC002"]
+        assert "read without it" in hits[0].message
+
+    def test_silent_when_reads_take_the_lock(self):
+        assert not findings("CONC002", ("src/fx/mod.py", LOCKED_COUNTER + """
+        @property
+        def count(self):
+            with self._lock:
+                return self._count
+    """))
+
+    def test_suppression_comment_is_honoured(self):
+        assert not findings("CONC002", ("src/fx/mod.py", LOCKED_COUNTER + """
+        @property
+        def count(self):
+            return self._count  # repro-lint: disable=CONC002 -- torn read tolerated
+    """))
+
+
+# ----------------------------------------------------------------------
+# FORK002 — transitive pickle-safety
+# ----------------------------------------------------------------------
+class TestFork002:
+    def test_fires_on_forbidden_type_two_hops_deep(self):
+        hits = findings("FORK002", ("src/fx/mod.py", """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class FaultPlan:
+                callback: Callable
+
+            @dataclass
+            class WorkerTaskSpec:
+                client_id: int
+                plan: FaultPlan
+        """))
+        assert [f.rule for f in hits] == ["FORK002"]
+        assert "plan.callback" in hits[0].message
+
+    def test_fires_on_reachable_lock_owning_class(self):
+        hits = findings("FORK002", ("src/fx/mod.py", """
+            import threading
+            from dataclasses import dataclass
+
+            class Helper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+            @dataclass
+            class WorkerTaskSpec:
+                helper: Helper
+        """))
+        assert [f.rule for f in hits] == ["FORK002"]
+        assert "lock attribute" in hits[0].message
+
+    def test_direct_forbidden_field_left_to_fork001(self):
+        # Depth-1 is the shallow rule's finding; no double report here.
+        assert not findings("FORK002", ("src/fx/mod.py", """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class WorkerTaskSpec:
+                callback: Callable
+        """))
+
+    def test_silent_on_plain_data_and_cycles(self):
+        assert not findings("FORK002", ("src/fx/mod.py", """
+            from dataclasses import dataclass
+            from typing import Optional
+
+            @dataclass
+            class Node:
+                value: int
+                next: "Optional[Node]"
+
+            @dataclass
+            class WorkerTaskSpec:
+                head: Node
+        """))
+
+    def test_walks_across_modules(self):
+        hits = findings(
+            "FORK002",
+            ("src/fx/faults.py", """
+                from dataclasses import dataclass
+                from typing import Callable
+
+                @dataclass
+                class FaultPlan:
+                    callback: Callable
+            """),
+            ("src/fx/spec.py", """
+                from dataclasses import dataclass
+                from fx.faults import FaultPlan
+
+                @dataclass
+                class WorkerTaskSpec:
+                    plan: FaultPlan
+            """),
+        )
+        assert [f.rule for f in hits] == ["FORK002"]
+
+
+# ----------------------------------------------------------------------
+# DET005 — interprocedural RNG/clock taint
+# ----------------------------------------------------------------------
+class TestDet005:
+    def test_fires_on_cross_module_timing_return(self):
+        hits = findings(
+            "DET005",
+            ("src/fx/timing.py", """
+                import time
+
+                def elapsed(start):
+                    return time.perf_counter() - start
+            """),
+            ("src/fx/record.py", """
+                from fx.timing import elapsed
+
+                class Recorder:
+                    def finish(self, record, start):
+                        record.uplink_seconds = elapsed(start)
+            """),
+        )
+        assert [f.rule for f in hits] == ["DET005"]
+        assert "fx.timing.elapsed" in hits[0].message
+        assert hits[0].path == "src/fx/record.py"
+
+    def test_fires_at_call_site_of_parameter_sink(self):
+        hits = findings("DET005", ("src/fx/mod.py", """
+            import time
+
+            class Store:
+                def put(self, record, value):
+                    record.uplink_seconds = value
+
+                def run(self, record):
+                    start = time.perf_counter()
+                    self.put(record, time.perf_counter() - start)
+        """))
+        assert [f.rule for f in hits] == ["DET005"]
+        assert "passed as 'value'" in hits[0].message
+
+    def test_fires_on_entropy_reaching_deterministic_field(self):
+        hits = findings("DET005", ("src/fx/mod.py", """
+            import os
+
+            def token():
+                return os.urandom(8)
+
+            class Recorder:
+                def stamp(self, record):
+                    record.uplink_bytes = len(token())
+        """))
+        assert [f.rule for f in hits] == ["DET005"]
+        assert "host entropy" in hits[0].message
+
+    def test_fires_on_timing_in_checkpoint_state(self):
+        hits = findings("DET005", ("src/fx/mod.py", """
+            import time
+
+            class Codec:
+                def checkpoint_state(self):
+                    return {"stamp": time.perf_counter()}
+        """))
+        assert [f.rule for f in hits] == ["DET005"]
+        assert "checkpoint state" in hits[0].message
+
+    def test_fires_on_wall_clock_bound_as_value(self):
+        hits = findings("DET005", ("src/fx/mod.py", """
+            import time
+
+            class Monitor:
+                def __init__(self, clock=None):
+                    self._clock = clock if clock is not None else time.time
+        """))
+        assert [f.rule for f in hits] == ["DET005"]
+        assert "referenced as a value" in hits[0].message
+
+    def test_silent_on_modelled_values(self):
+        assert not findings(
+            "DET005",
+            ("src/fx/model.py", """
+                def modelled_seconds(nbytes, bandwidth):
+                    return nbytes / bandwidth
+            """),
+            ("src/fx/record.py", """
+                from fx.model import modelled_seconds
+
+                class Recorder:
+                    def finish(self, record, nbytes):
+                        record.uplink_seconds = modelled_seconds(nbytes, 1e6)
+            """),
+        )
+
+    def test_silent_on_timing_into_observational_field(self):
+        assert not findings("DET005", ("src/fx/mod.py", """
+            import time
+
+            def elapsed(start):
+                return time.perf_counter() - start
+
+            class Recorder:
+                def finish(self, record, start):
+                    record.train_seconds_wall = elapsed(start)
+        """))
+
+    def test_sanctioned_timing_module_is_exempt(self):
+        assert not findings("DET005", ("src/repro/utils/timing.py", """
+            import time
+
+            class Probe:
+                def __init__(self):
+                    self._clock = time.perf_counter
+        """))
+
+
+# ----------------------------------------------------------------------
+# EXH001 — event-kind dispatch exhaustiveness
+# ----------------------------------------------------------------------
+class TestExh001:
+    def test_fires_on_pushed_but_never_dispatched_kind(self):
+        hits = findings("EXH001", ("src/fx/events.py", """
+            ROUND_START = "round-start"
+            CLIENT_DONE = "client-done"
+
+            def emit(queue):
+                queue.push(kind=ROUND_START)
+                queue.push(kind=CLIENT_DONE)
+
+            def consume(event):
+                if event.kind == ROUND_START:
+                    return 1
+                return 0
+        """))
+        assert [f.rule for f in hits] == ["EXH001"]
+        assert "CLIENT_DONE" in hits[0].message
+        assert hits[0].line == 3  # anchored at the constant's definition
+
+    def test_silent_when_dispatch_lives_in_another_module(self):
+        assert not findings(
+            "EXH001",
+            ("src/fx/events.py", """
+                ROUND_START = "round-start"
+
+                def emit(queue):
+                    queue.push(kind=ROUND_START)
+            """),
+            ("src/fx/scheduler.py", """
+                from fx.events import ROUND_START
+
+                def consume(event):
+                    return event.kind == ROUND_START
+            """),
+        )
+
+    def test_membership_dispatch_counts(self):
+        assert not findings("EXH001", ("src/fx/events.py", """
+            A = "a"
+            B = "b"
+
+            def emit(queue):
+                queue.push(kind=A)
+                queue.push(kind=B)
+
+            def consume(event):
+                return event.kind in (A, B)
+        """))
+
+    def test_defined_but_never_pushed_kind_is_fine(self):
+        assert not findings("EXH001", ("src/fx/events.py", """
+            USED = "used"
+            DORMANT = "dormant"
+
+            def emit(queue):
+                queue.push(kind=USED)
+
+            def consume(event):
+                return event.kind == USED
+        """))
+
+
+# ----------------------------------------------------------------------
+# EXH002 — field classification and checkpoint coverage
+# ----------------------------------------------------------------------
+CLASSIFIED_MODULE = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class Stat:
+        x: int
+        y: float
+
+    DETERMINISTIC_STAT_FIELDS = frozenset({"x"})
+    OBSERVATIONAL_STAT_FIELDS = frozenset({"y"})
+
+    @dataclass
+    class History:
+        def deterministic_rows(self):
+            return []
+    """
+
+
+class TestExh002Classification:
+    def test_fires_when_no_classification_sets_exist(self):
+        hits = findings("EXH002", ("src/fx/history.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Stat:
+                x: int
+
+            @dataclass
+            class History:
+                def deterministic_rows(self):
+                    return []
+        """))
+        assert [f.rule for f in hits] == ["EXH002"]
+        assert "DETERMINISTIC_STAT_FIELDS" in hits[0].message
+
+    def test_fires_on_unclassified_field(self):
+        hits = findings("EXH002", ("src/fx/history.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Stat:
+                x: int
+                y: float
+
+            DETERMINISTIC_STAT_FIELDS = frozenset({"x"})
+            OBSERVATIONAL_STAT_FIELDS = frozenset()
+
+            @dataclass
+            class History:
+                def deterministic_rows(self):
+                    return []
+        """))
+        assert [f.rule for f in hits] == ["EXH002"]
+        assert "Stat.y" in hits[0].message
+
+    def test_fires_on_overlap_and_phantom(self):
+        hits = findings("EXH002", ("src/fx/history.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Stat:
+                x: int
+
+            DETERMINISTIC_STAT_FIELDS = frozenset({"x", "ghost"})
+            OBSERVATIONAL_STAT_FIELDS = frozenset({"x"})
+
+            @dataclass
+            class History:
+                def deterministic_rows(self):
+                    return []
+        """))
+        messages = " | ".join(f.message for f in hits)
+        assert "both" in messages and "ghost" in messages
+
+    def test_silent_on_complete_disjoint_partition(self):
+        assert not findings("EXH002", ("src/fx/history.py", CLASSIFIED_MODULE))
+
+    def test_rows_defining_class_is_exempt(self):
+        # TrainingHistory itself is the API, not a record needing a partition.
+        hits = findings("EXH002", ("src/fx/history.py", CLASSIFIED_MODULE))
+        assert not [f for f in hits if "History" in f.message]
+
+
+class TestExh002Checkpoint:
+    def test_fires_on_evolving_attr_missing_from_checkpoint(self):
+        hits = findings("EXH002", ("src/fx/codec.py", """
+            class Codec:
+                def __init__(self, rng):
+                    self._rng = rng
+                    self._bound = 1.0
+
+                def compress(self, x):
+                    self._bound = self._bound * 0.5
+                    return x + self._rng.normal()
+
+                def checkpoint_state(self):
+                    return {"nothing": None}
+
+                def restore_checkpoint_state(self, state):
+                    pass
+        """))
+        assert {f.rule for f in hits} == {"EXH002"}
+        attrs = " | ".join(f.message for f in hits)
+        assert "_bound" in attrs and "_rng" in attrs
+
+    def test_silent_when_checkpoint_covers_the_state(self):
+        assert not findings("EXH002", ("src/fx/codec.py", """
+            class Codec:
+                def __init__(self, rng):
+                    self._rng = rng
+                    self._bound = 1.0
+
+                def compress(self, x):
+                    self._bound = self._bound * 0.5
+                    return x + self._rng.normal()
+
+                def checkpoint_state(self):
+                    return {"rng": self._rng.bit_generator.state, "bound": self._bound}
+
+                def restore_checkpoint_state(self, state):
+                    self._rng = state["rng"]
+                    self._bound = state["bound"]
+        """))
+
+    def test_plain_classes_without_codec_surface_are_exempt(self):
+        # checkpoint_state alone (e.g. FLClient) doesn't trigger coverage.
+        assert not findings("EXH002", ("src/fx/client.py", """
+            class FLClient:
+                def __init__(self):
+                    self._own_model = None
+
+                def train(self):
+                    self._own_model = object()
+
+                def checkpoint_state(self):
+                    return {}
+        """))
+
+
+# ----------------------------------------------------------------------
+# Repo-wide pins
+# ----------------------------------------------------------------------
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_repo_src_has_no_deep_findings():
+    """The committed baseline is empty and must stay that way."""
+    result, _project = lint_deep([REPO_SRC], cache_dir=None)
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert not result.findings, f"deep lint found:\n{rendered}"
+
+
+def test_repo_negative_pins_stay_clean():
+    """BroadcastCache (lockless by design) and RunMonitor (fully disciplined)
+    must not start firing CONC rules as extractor heuristics evolve."""
+    result, project = lint_deep([REPO_SRC], cache_dir=None)
+    cache_cls = project.classes.get("repro.fl.broadcast.BroadcastCache")
+    assert cache_cls is not None and not cache_cls.lock_attrs
+    monitor_cls = project.classes.get("repro.obs.monitor.RunMonitor")
+    assert monitor_cls is not None and "_lock" in monitor_cls.lock_attrs
+    assert not [f for f in result.findings if f.rule.startswith("CONC")]
